@@ -1,0 +1,129 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section (Tables 5-9, Figures 2-11) and prints them in the
+// paper's layout. Machine sizes and the problem scale are flags so the full
+// sweep can be shrunk for a quick look or expanded toward paper sizes.
+//
+// Absolute numbers will not match the paper (the substrate is this
+// simulator, not the authors' testbed, and problem sizes are scaled); the
+// shapes — who wins, by roughly what factor, where the categories fall —
+// are what EXPERIMENTS.md tracks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"smtpsim/internal/core"
+)
+
+func main() {
+	var (
+		csvDir = flag.String("csv", "", "also write each experiment as CSV into this directory")
+		scale  = flag.Float64("scale", 0.5, "problem-size multiplier for every experiment")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+		small  = flag.Int("small", 4, "node count standing in for the paper's 16-node machine")
+		medium = flag.Int("medium", 8, "node count standing in for the paper's 32-node machine")
+		eight  = flag.Int("eight", 8, "node count for the clock-scaling study (paper: 8)")
+		full   = flag.Bool("full", false, "run at the paper's machine sizes (16/32/8 nodes)")
+		only   = flag.String("only", "", "run a single experiment: t5,t6,t7,t8,t9,f2..f11")
+	)
+	flag.Parse()
+
+	if *full {
+		*small, *medium, *eight = 16, 32, 8
+	}
+	s := core.Suite{CPUGHz: 2, Scale: *scale, Seed: *seed}
+	s4 := core.Suite{CPUGHz: 4, Scale: *scale, Seed: *seed}
+
+	want := func(name string) bool { return *only == "" || *only == name }
+	type csvable interface{ CSV(io.Writer) error }
+	emitCSV := func(name string, v csvable) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			return
+		}
+		defer f.Close()
+		if err := v.CSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+		}
+	}
+	section := func(name, title string, fn func() (string, csvable)) {
+		if !want(name) {
+			return
+		}
+		start := time.Now()
+		out, v := fn()
+		emitCSV(name, v)
+		fmt.Printf("=== %s: %s\n%s(%s)\n\n", name, title, out, time.Since(start).Round(time.Millisecond))
+	}
+
+	section("t5", "Table 5 — speedup in Base", func() (string, csvable) {
+		v := s.RunSpeedup(core.Base, *small, []int{1, 2, 4})
+		return v.Render(), v
+	})
+	section("t6", "Table 6 — speedup in SMTp", func() (string, csvable) {
+		v := s.RunSpeedup(core.SMTp, *small, []int{1, 2, 4})
+		return v.Render(), v
+	})
+	section("f2", "Figure 2 — single node, 1-way", func() (string, csvable) {
+		v := s.RunFigure("Normalized execution time", 1, 1)
+		return v.Render(), v
+	})
+	section("f3", "Figure 3 — single node, 2-way", func() (string, csvable) {
+		v := s.RunFigure("Normalized execution time", 1, 2)
+		return v.Render(), v
+	})
+	section("f4", "Figure 4 — single node, 4-way", func() (string, csvable) {
+		v := s.RunFigure("Normalized execution time", 1, 4)
+		return v.Render(), v
+	})
+	section("f5", "Figure 5 — 16 nodes, 1-way", func() (string, csvable) {
+		v := s.RunFigure("Normalized execution time", *small, 1)
+		return v.Render(), v
+	})
+	section("f6", "Figure 6 — 16 nodes, 2-way", func() (string, csvable) {
+		v := s.RunFigure("Normalized execution time", *small, 2)
+		return v.Render(), v
+	})
+	section("f7", "Figure 7 — 16 nodes, 4-way", func() (string, csvable) {
+		v := s.RunFigure("Normalized execution time", *small, 4)
+		return v.Render(), v
+	})
+	section("f8", "Figure 8 — 32 nodes, 1-way", func() (string, csvable) {
+		v := s.RunFigure("Normalized execution time", *medium, 1)
+		return v.Render(), v
+	})
+	section("f9", "Figure 9 — 32 nodes, 2-way", func() (string, csvable) {
+		v := s.RunFigure("Normalized execution time", *medium, 2)
+		return v.Render(), v
+	})
+	section("t7", "Table 7 — protocol occupancy", func() (string, csvable) {
+		v := s.RunOccupancy(*small)
+		return v.Render(), v
+	})
+	section("t8", "Table 8 — protocol thread characteristics", func() (string, csvable) {
+		v := s.RunProtoChar(*small)
+		return v.Render(), v
+	})
+	section("t9", "Table 9 — protocol thread resource occupancy", func() (string, csvable) {
+		v := s.RunResource(*small)
+		return v.Render(), v
+	})
+	section("f10", "Figure 10 — 8 nodes, 1-way, 4 GHz", func() (string, csvable) {
+		v := s4.RunFigure("Normalized execution time", *eight, 1)
+		return v.Render(), v
+	})
+	section("f11", "Figure 11 — 8 nodes, 1-way, 2 GHz", func() (string, csvable) {
+		v := s.RunFigure("Normalized execution time", *eight, 1)
+		return v.Render(), v
+	})
+}

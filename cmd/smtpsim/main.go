@@ -1,0 +1,99 @@
+// Command smtpsim runs a single DSM configuration — one machine model, one
+// application, one machine size — and prints the paper's metrics for it.
+//
+// Example:
+//
+//	smtpsim -model SMTp -app fft -nodes 16 -way 2 -ghz 2 -scale 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smtpsim/internal/core"
+	"smtpsim/internal/pipeline"
+)
+
+func parseModel(s string) (core.Model, error) {
+	for _, m := range core.Models() {
+		if strings.EqualFold(m.String(), s) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown model %q (Base, IntPerfect, Int512KB, Int64KB, SMTp)", s)
+}
+
+func parseApp(s string) (core.App, error) {
+	for _, a := range core.Apps() {
+		if strings.EqualFold(a.String(), s) ||
+			strings.EqualFold(strings.ReplaceAll(a.String(), "-", ""), s) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown app %q (FFT, FFTW, LU, Ocean, Radix-Sort, Water)", s)
+}
+
+func main() {
+	var (
+		modelF = flag.String("model", "SMTp", "machine model: Base, IntPerfect, Int512KB, Int64KB, SMTp")
+		appF   = flag.String("app", "FFT", "application: FFT, FFTW, LU, Ocean, Radix-Sort, Water")
+		nodes  = flag.Int("nodes", 4, "node count (1..32)")
+		way    = flag.Int("way", 1, "application threads per node (1, 2, 4)")
+		ghz    = flag.Float64("ghz", 2, "processor clock in GHz (2 or 4)")
+		scale  = flag.Float64("scale", 1, "problem-size multiplier")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+		las    = flag.Bool("las", true, "SMTp look-ahead scheduling")
+	)
+	flag.Parse()
+
+	model, err := parseModel(*modelF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	app, err := parseApp(*appF)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Model:      model,
+		App:        app,
+		Nodes:      *nodes,
+		AppThreads: *way,
+		CPUGHz:     *ghz,
+		Scale:      *scale,
+		Seed:       *seed,
+	}
+	if !*las {
+		cfg.PipeTweak = func(pc *pipeline.Config) { pc.LAS = false }
+	}
+	res := core.Run(cfg)
+	if !res.Completed {
+		fmt.Fprintf(os.Stderr, "run did not complete within the cycle budget (%d cycles elapsed)\n", res.Cycles)
+		os.Exit(1)
+	}
+	if res.CoherenceErr != nil {
+		fmt.Fprintf(os.Stderr, "coherence check failed: %v\n", res.CoherenceErr)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%v / %v, %d nodes x %d-way @ %.0f GHz (scale %.2f)\n",
+		model, app, *nodes, *way, *ghz, *scale)
+	fmt.Printf("  execution time:        %d cycles\n", res.Cycles)
+	fmt.Printf("  memory stall fraction: %.3f (non-memory %.3f)\n", res.MemStallFrac, res.NonMemFrac)
+	fmt.Printf("  retired: %d application + %d protocol instructions\n", res.RetiredApp, res.RetiredProto)
+	fmt.Printf("  protocol occupancy:    peak %.2f%% of execution\n", 100*res.ProtoOccupancyPeak)
+	fmt.Printf("  L1D misses %d, L2 misses %d, network messages %d, handlers %d\n",
+		res.L1DMisses, res.L2Misses, res.NetworkMsgs, res.Dispatched)
+	if model == core.SMTp {
+		fmt.Printf("  protocol thread: mispredict %.2f%%, squash %.2f%%, %.2f%% of retired instrs\n",
+			100*res.ProtoBrMispredRate, res.ProtoSquashPct, res.ProtoRetiredPct)
+		fmt.Printf("  occupancy peaks: branch stack %s | int regs %s | IQ %s | LSQ %s\n",
+			res.OccBrStack, res.OccIntRegs, res.OccIQ, res.OccLSQ)
+		fmt.Printf("  bypass-buffer fills: %d, look-ahead starts: %d\n", res.BypassFills, res.LookAheads)
+	}
+}

@@ -1,0 +1,12 @@
+// Package smtpsim is a from-scratch Go reproduction of "SMTp: An
+// Architecture for Next-generation Scalable Multi-threading" (Chaudhuri &
+// Heinrich, ISCA 2004): a cycle-level simulator of SMT processors with a
+// coherence protocol thread, the four comparison machine models with
+// embedded protocol processors, the Origin-derived directory protocol, the
+// bristled-hypercube interconnect, and the six applications of the paper's
+// evaluation.
+//
+// Use internal/core as the entry point (see examples/quickstart), or the
+// cmd/smtpsim and cmd/paperbench binaries. bench_test.go in this directory
+// holds one benchmark per paper table and figure.
+package smtpsim

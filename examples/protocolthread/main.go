@@ -1,0 +1,44 @@
+// Protocolthread: look inside the SMTp mechanism. Runs the same workload
+// with and without Look-Ahead Scheduling, and prints the protocol thread's
+// characterization — the data behind the paper's Tables 8 and 9 and the
+// LAS discussion in §2.3.
+package main
+
+import (
+	"fmt"
+
+	"smtpsim/internal/core"
+	"smtpsim/internal/pipeline"
+)
+
+func run(app core.App, las bool) *core.Result {
+	cfg := core.Config{
+		Model: core.SMTp, App: app, Nodes: 4, AppThreads: 1,
+		Scale: 0.5, Seed: 9,
+	}
+	if !las {
+		cfg.PipeTweak = func(pc *pipeline.Config) { pc.LAS = false }
+	}
+	return core.Run(cfg)
+}
+
+func main() {
+	fmt.Println("SMTp protocol-thread characterization (4 nodes, 1-way):")
+	fmt.Printf("%-11s %10s %10s %12s %10s %12s\n",
+		"App", "occupancy", "mispred", "retired-ins", "LSQ peak", "int-reg peak")
+	for _, app := range core.Apps() {
+		r := run(app, true)
+		fmt.Printf("%-11v %9.1f%% %9.2f%% %11.2f%% %10d %12d\n",
+			app, 100*r.ProtoOccupancyPeak, 100*r.ProtoBrMispredRate,
+			r.ProtoRetiredPct, r.OccLSQ.Peak, r.OccIntRegs.Peak)
+	}
+
+	fmt.Println("\nLook-Ahead Scheduling ablation (execution cycles):")
+	for _, app := range []core.App{core.FFT, core.Ocean} {
+		with := run(app, true)
+		without := run(app, false)
+		gain := 100 * (float64(without.Cycles) - float64(with.Cycles)) / float64(without.Cycles)
+		fmt.Printf("  %-11v LAS on: %9d   LAS off: %9d   gain: %+.2f%% (look-ahead starts: %d)\n",
+			app, with.Cycles, without.Cycles, gain, with.LookAheads)
+	}
+}

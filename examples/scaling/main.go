@@ -1,0 +1,43 @@
+// Scaling: reproduce the spirit of Tables 5/6 on a laptop — self-relative
+// speedup of Ocean on SMTp machines of growing size, against the five
+// machine models' relative performance at the largest size.
+package main
+
+import (
+	"fmt"
+
+	"smtpsim/internal/core"
+)
+
+func main() {
+	const scale = 0.5
+	app := core.Ocean
+
+	fmt.Println("Ocean self-relative speedup on SMTp (strong scaling):")
+	base := core.Run(core.Config{
+		Model: core.SMTp, App: app, Nodes: 1, AppThreads: 1,
+		Scale: scale, Seed: 3, SizeFor: 16,
+	})
+	for _, nodes := range []int{1, 2, 4, 8} {
+		r := core.Run(core.Config{
+			Model: core.SMTp, App: app, Nodes: nodes, AppThreads: 2,
+			Scale: scale, Seed: 3, SizeFor: 16,
+		})
+		fmt.Printf("  %2d nodes x 2-way: %6.2fx  (%d cycles)\n",
+			nodes, float64(base.Cycles)/float64(r.Cycles), r.Cycles)
+	}
+
+	fmt.Println("\nAll five machine models at 4 nodes x 2-way (normalized to Base):")
+	w := core.BuildWorkload(core.Config{App: app, Nodes: 4, AppThreads: 2, Scale: scale, Seed: 3})
+	var baseCycles float64
+	for _, m := range core.Models() {
+		r := core.RunWorkload(core.Config{
+			Model: m, App: app, Nodes: 4, AppThreads: 2, Scale: scale, Seed: 3,
+		}, w)
+		if m == core.Base {
+			baseCycles = float64(r.Cycles)
+		}
+		fmt.Printf("  %-11v %.3f (memory stall %.1f%%)\n",
+			m, float64(r.Cycles)/baseCycles, 100*r.MemStallFrac)
+	}
+}

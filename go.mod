@@ -1,0 +1,3 @@
+module smtpsim
+
+go 1.22

@@ -1,0 +1,147 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionPredicates(t *testing.T) {
+	if !IsAppData(0) || !IsAppData(DirBase-1) || IsAppData(DirBase) {
+		t.Fatal("app-data region bounds wrong")
+	}
+	if !IsDirectory(DirBase) || IsDirectory(CodeBase) {
+		t.Fatal("directory region bounds wrong")
+	}
+	if !IsCode(CodeBase) || IsCode(MMIOBase) {
+		t.Fatal("code region bounds wrong")
+	}
+	if !IsMMIO(MMIOBase) || IsMMIO(MMIOBase-1) {
+		t.Fatal("mmio region bounds wrong")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0) != 0 || LineAddr(127) != 0 || LineAddr(128) != 128 || LineAddr(300) != 256 {
+		t.Fatal("LineAddr misaligned")
+	}
+}
+
+func TestRoundRobinHomes(t *testing.T) {
+	m := NewMap(4)
+	for p := uint64(0); p < 16; p++ {
+		want := NodeID(p % 4)
+		if got := m.HomeOf(p * PageSize); got != want {
+			t.Fatalf("page %d: home %d, want %d", p, got, want)
+		}
+		// Every address within the page has the same home.
+		if got := m.HomeOf(p*PageSize + PageSize - 1); got != want {
+			t.Fatalf("page %d tail: home %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestExplicitPlacement(t *testing.T) {
+	m := NewMap(8)
+	m.Place(3*PageSize+17, 5)
+	if m.HomeOf(3*PageSize) != 5 {
+		t.Fatal("explicit placement not honored")
+	}
+	if m.HomeOf(4*PageSize) != 4 {
+		t.Fatal("placement leaked to neighbouring page")
+	}
+	m.PlaceRange(10*PageSize, 3*PageSize, 2)
+	for p := uint64(10); p < 13; p++ {
+		if m.HomeOf(p*PageSize) != 2 {
+			t.Fatalf("range placement missed page %d", p)
+		}
+	}
+	if m.HomeOf(13*PageSize) == 2 && 13%8 != 2 {
+		t.Fatal("range placement overshot")
+	}
+}
+
+func TestPlaceRangeEmpty(t *testing.T) {
+	m := NewMap(2)
+	m.PlaceRange(0, 0, 1) // must not panic or place anything
+	if m.HomeOf(0) != 0 {
+		t.Fatal("empty range placed a page")
+	}
+}
+
+func TestHomeOfPanicsOutsideAppData(t *testing.T) {
+	m := NewMap(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HomeOf on directory address must panic")
+		}
+	}()
+	m.HomeOf(DirBase)
+}
+
+func TestDirEntrySize(t *testing.T) {
+	if DirEntrySize(1) != 4 || DirEntrySize(16) != 4 {
+		t.Fatal("<=16 nodes use 32-bit entries")
+	}
+	if DirEntrySize(17) != 8 || DirEntrySize(32) != 8 {
+		t.Fatal(">16 nodes use 64-bit entries")
+	}
+}
+
+func TestDirAddrOfDistinctLines(t *testing.T) {
+	a := DirAddrOf(0, 16)
+	b := DirAddrOf(CoherenceLineSize, 16)
+	if a == b {
+		t.Fatal("adjacent lines share a directory entry")
+	}
+	if b-a != 4 {
+		t.Fatalf("entry stride %d, want 4", b-a)
+	}
+	if !IsDirectory(a) {
+		t.Fatal("directory entry outside the directory region")
+	}
+	if DirAddrOf(0, 32)-DirBase != 0 || DirAddrOf(CoherenceLineSize, 32)-DirBase != 8 {
+		t.Fatal("64-bit entry stride wrong")
+	}
+}
+
+func TestDirAddrSameLineSameEntry(t *testing.T) {
+	f := func(off uint16) bool {
+		base := uint64(12345) * CoherenceLineSize
+		return DirAddrOf(base, 16) == DirAddrOf(base+uint64(off)%CoherenceLineSize, 16)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	if m.Read64(1000) != 0 {
+		t.Fatal("untouched memory must read zero")
+	}
+	m.Write64(1000, 0xdeadbeefcafe1234)
+	if m.Read64(1000) != 0xdeadbeefcafe1234 {
+		t.Fatal("Write64/Read64 round trip failed")
+	}
+	m.Write32(2000, 0xabcd1234)
+	if m.Read32(2000) != 0xabcd1234 {
+		t.Fatal("Write32/Read32 round trip failed")
+	}
+	// 32-bit write must not clobber neighbours.
+	m.Write32(2004, 0x55667788)
+	if m.Read32(2000) != 0xabcd1234 {
+		t.Fatal("adjacent Write32 clobbered neighbour")
+	}
+}
+
+func TestMemoryQuickRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(slot uint16, v uint64) bool {
+		addr := uint64(slot) * 8 // aligned, never straddles a block
+		m.Write64(addr, v)
+		return m.Read64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

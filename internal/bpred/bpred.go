@@ -1,0 +1,272 @@
+// Package bpred implements the branch-prediction hardware of the simulated
+// SMT core: an Alpha-21264-style tournament predictor with per-thread local
+// history tables, global path histories and choice predictors but shared
+// pattern-history tables (paper §3), a 256-set 4-way BTB, and a 32-entry
+// per-thread return address stack with top-of-stack repair.
+package bpred
+
+// Tournament predictor geometry (21264-like).
+const (
+	localHistEntries = 1024
+	localHistBits    = 10
+	localPHTEntries  = 1 << localHistBits
+	globalHistBits   = 12
+	globalPHTEntries = 1 << globalHistBits
+)
+
+// Prediction carries the predictor state captured at predict time so the
+// update at resolve time can index the same entries (the histories will have
+// moved on by then).
+type Prediction struct {
+	Taken       bool
+	localIdx    int
+	localPHTIdx int
+	globalIdx   int
+	choiceIdx   int
+	usedGlobal  bool
+}
+
+// Tournament is the direction predictor. Saturating-counter pattern history
+// tables are shared across threads; histories and choice tables are
+// per-thread.
+type Tournament struct {
+	threads    int
+	localHist  [][]uint16 // [thread][pc hash] -> local history
+	localPHT   []uint8    // shared, 3-bit counters
+	globalHist []uint32   // [thread] -> path history
+	globalPHT  []uint8    // shared, 2-bit counters
+	choice     [][]uint8  // [thread][global hist] -> 2-bit, high = use global
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// NewTournament returns a predictor for the given number of hardware thread
+// contexts.
+func NewTournament(threads int) *Tournament {
+	t := &Tournament{
+		threads:    threads,
+		localHist:  make([][]uint16, threads),
+		localPHT:   make([]uint8, localPHTEntries),
+		globalHist: make([]uint32, threads),
+		globalPHT:  make([]uint8, globalPHTEntries),
+		choice:     make([][]uint8, threads),
+	}
+	for i := range t.localHist {
+		t.localHist[i] = make([]uint16, localHistEntries)
+		t.choice[i] = make([]uint8, globalPHTEntries)
+		for j := range t.choice[i] {
+			t.choice[i][j] = 2 // weakly prefer global, as the 21264 initializes
+		}
+	}
+	// Initialize 3-bit local counters to weakly taken and 2-bit global
+	// counters to weakly not-taken so cold predictions are not pathological.
+	for i := range t.localPHT {
+		t.localPHT[i] = 4
+	}
+	for i := range t.globalPHT {
+		t.globalPHT[i] = 1
+	}
+	return t
+}
+
+func pcHash(pc uint64) int {
+	return int((pc >> 2) % localHistEntries)
+}
+
+// Predict returns the predicted direction for the branch at pc on thread
+// tid, along with state to pass back to Update.
+func (t *Tournament) Predict(tid int, pc uint64) Prediction {
+	t.Lookups++
+	li := pcHash(pc)
+	lh := t.localHist[tid][li] & (localPHTEntries - 1)
+	localTaken := t.localPHT[lh] >= 4
+
+	gi := int(t.globalHist[tid] & (globalPHTEntries - 1))
+	globalTaken := t.globalPHT[gi] >= 2
+
+	useGlobal := t.choice[tid][gi] >= 2
+	taken := localTaken
+	if useGlobal {
+		taken = globalTaken
+	}
+	return Prediction{
+		Taken:       taken,
+		localIdx:    li,
+		localPHTIdx: int(lh),
+		globalIdx:   gi,
+		choiceIdx:   gi,
+		usedGlobal:  useGlobal,
+	}
+}
+
+// Update trains the predictor with the resolved outcome. The global path
+// history is updated here (non-speculatively, as in the paper).
+func (t *Tournament) Update(tid int, p Prediction, taken bool) {
+	if p.Taken != taken {
+		t.Mispredicts++
+	}
+	localWas := t.localPHT[p.localPHTIdx] >= 4
+	globalWas := t.globalPHT[p.globalIdx] >= 2
+
+	// Train the component counters.
+	t.localPHT[p.localPHTIdx] = sat(t.localPHT[p.localPHTIdx], taken, 7)
+	t.globalPHT[p.globalIdx] = sat(t.globalPHT[p.globalIdx], taken, 3)
+
+	// Train the chooser only when the components disagree.
+	if localWas != globalWas {
+		t.choice[tid][p.choiceIdx] = sat(t.choice[tid][p.choiceIdx], globalWas == taken, 3)
+	}
+
+	// Advance histories.
+	h := t.localHist[tid][p.localIdx] << 1
+	if taken {
+		h |= 1
+	}
+	t.localHist[tid][p.localIdx] = h & (localPHTEntries - 1)
+
+	g := t.globalHist[tid] << 1
+	if taken {
+		g |= 1
+	}
+	t.globalHist[tid] = g & (globalPHTEntries - 1)
+}
+
+func sat(c uint8, up bool, max uint8) uint8 {
+	if up {
+		if c < max {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// BTB is a set-associative branch target buffer (256 sets, 4-way, LRU).
+type BTB struct {
+	sets  int
+	assoc int
+	tags  [][]uint64
+	tgts  [][]uint64
+	valid [][]bool
+	lru   [][]uint8
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewBTB returns a BTB with the given geometry.
+func NewBTB(sets, assoc int) *BTB {
+	b := &BTB{
+		sets: sets, assoc: assoc,
+		tags:  make([][]uint64, sets),
+		tgts:  make([][]uint64, sets),
+		valid: make([][]bool, sets),
+		lru:   make([][]uint8, sets),
+	}
+	for i := 0; i < sets; i++ {
+		b.tags[i] = make([]uint64, assoc)
+		b.tgts[i] = make([]uint64, assoc)
+		b.valid[i] = make([]bool, assoc)
+		b.lru[i] = make([]uint8, assoc)
+	}
+	return b
+}
+
+func (b *BTB) index(pc uint64) (set int, tag uint64) {
+	return int((pc >> 2) % uint64(b.sets)), pc
+}
+
+// Lookup returns the stored target for pc, if any.
+func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
+	set, tag := b.index(pc)
+	for w := 0; w < b.assoc; w++ {
+		if b.valid[set][w] && b.tags[set][w] == tag {
+			b.touch(set, w)
+			b.Hits++
+			return b.tgts[set][w], true
+		}
+	}
+	b.Misses++
+	return 0, false
+}
+
+// Insert records (pc -> target), replacing LRU on conflict.
+func (b *BTB) Insert(pc, target uint64) {
+	set, tag := b.index(pc)
+	victim := 0
+	for w := 0; w < b.assoc; w++ {
+		if b.valid[set][w] && b.tags[set][w] == tag {
+			b.tgts[set][w] = target
+			b.touch(set, w)
+			return
+		}
+		if !b.valid[set][w] {
+			victim = w
+			break
+		}
+		if b.lru[set][w] > b.lru[set][victim] {
+			victim = w
+		}
+	}
+	b.tags[set][victim] = tag
+	b.tgts[set][victim] = target
+	b.valid[set][victim] = true
+	b.touch(set, victim)
+}
+
+func (b *BTB) touch(set, way int) {
+	for w := 0; w < b.assoc; w++ {
+		if b.lru[set][w] < 255 {
+			b.lru[set][w]++
+		}
+	}
+	b.lru[set][way] = 0
+}
+
+// RAS is a per-thread return address stack with the top-of-stack repair
+// mechanism of Skadron et al.: a checkpoint captures both the TOS pointer
+// and its contents so mis-speculation recovery restores both.
+type RAS struct {
+	entries []uint64
+	tos     int // index of next push slot
+}
+
+// RASCheckpoint captures repairable RAS state.
+type RASCheckpoint struct {
+	tos    int
+	topVal uint64
+}
+
+// NewRAS returns a stack with n entries.
+func NewRAS(n int) *RAS {
+	return &RAS{entries: make([]uint64, n)}
+}
+
+// Push records a return address (call).
+func (r *RAS) Push(addr uint64) {
+	r.entries[r.tos] = addr
+	r.tos = (r.tos + 1) % len(r.entries)
+}
+
+// Pop predicts a return target.
+func (r *RAS) Pop() uint64 {
+	r.tos = (r.tos - 1 + len(r.entries)) % len(r.entries)
+	return r.entries[r.tos]
+}
+
+// Checkpoint captures the TOS pointer and its contents.
+func (r *RAS) Checkpoint() RASCheckpoint {
+	top := (r.tos - 1 + len(r.entries)) % len(r.entries)
+	return RASCheckpoint{tos: r.tos, topVal: r.entries[top]}
+}
+
+// Restore rolls the stack back to a checkpoint.
+func (r *RAS) Restore(c RASCheckpoint) {
+	r.tos = c.tos
+	top := (r.tos - 1 + len(r.entries)) % len(r.entries)
+	r.entries[top] = c.topVal
+}

@@ -1,0 +1,196 @@
+package bpred
+
+import (
+	"testing"
+)
+
+func TestTournamentLearnsAlwaysTaken(t *testing.T) {
+	p := NewTournament(1)
+	pc := uint64(0x1000)
+	// Warm up.
+	for i := 0; i < 64; i++ {
+		pred := p.Predict(0, pc)
+		p.Update(0, pred, true)
+	}
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		pred := p.Predict(0, pc)
+		if !pred.Taken {
+			wrong++
+		}
+		p.Update(0, pred, true)
+	}
+	if wrong != 0 {
+		t.Fatalf("always-taken branch mispredicted %d/100 after warmup", wrong)
+	}
+}
+
+func TestTournamentLearnsAlternating(t *testing.T) {
+	// A strictly alternating branch is captured by the local history
+	// component after training.
+	p := NewTournament(1)
+	pc := uint64(0x2000)
+	taken := false
+	for i := 0; i < 400; i++ {
+		pred := p.Predict(0, pc)
+		p.Update(0, pred, taken)
+		taken = !taken
+	}
+	wrong := 0
+	for i := 0; i < 200; i++ {
+		pred := p.Predict(0, pc)
+		if pred.Taken != taken {
+			wrong++
+		}
+		p.Update(0, pred, taken)
+		taken = !taken
+	}
+	if wrong > 10 {
+		t.Fatalf("alternating branch mispredicted %d/200 after training", wrong)
+	}
+}
+
+func TestTournamentPerThreadIsolationOfHistories(t *testing.T) {
+	p := NewTournament(2)
+	pc := uint64(0x3000)
+	// Thread 0 trains always-taken, thread 1 always-not-taken, same PC.
+	// Shared PHTs may alias, but per-thread local histories eventually give
+	// each thread a usable prediction; at minimum training must not panic
+	// and mispredict counting must work.
+	for i := 0; i < 500; i++ {
+		pr0 := p.Predict(0, pc)
+		p.Update(0, pr0, true)
+		pr1 := p.Predict(1, pc)
+		p.Update(1, pr1, false)
+	}
+	if p.Lookups != 1000 {
+		t.Fatalf("lookup count %d, want 1000", p.Lookups)
+	}
+	if p.Mispredicts == 0 || p.Mispredicts >= p.Lookups {
+		t.Fatalf("implausible mispredict count %d of %d", p.Mispredicts, p.Lookups)
+	}
+}
+
+func TestUntrainedBranchesMispredictMore(t *testing.T) {
+	// The paper attributes Water's 10.9% protocol mispredict rate to lack of
+	// training. Confirm a branch seen only a handful of times with random
+	// outcomes mispredicts more than a trained one.
+	p := NewTournament(1)
+	trained := uint64(0x4000)
+	for i := 0; i < 200; i++ {
+		pr := p.Predict(0, trained)
+		p.Update(0, pr, true)
+	}
+	trainedWrong := 0
+	for i := 0; i < 50; i++ {
+		pr := p.Predict(0, trained)
+		if !pr.Taken {
+			trainedWrong++
+		}
+		p.Update(0, pr, true)
+	}
+	coldWrong := 0
+	outcomes := []bool{true, false, false, true, true, false, true, false}
+	for i, o := range outcomes {
+		pc := uint64(0x8000 + i*4096*4) // distinct, cold entries
+		pr := p.Predict(0, pc)
+		if pr.Taken != o {
+			coldWrong++
+		}
+		p.Update(0, pr, o)
+	}
+	if trainedWrong != 0 {
+		t.Fatalf("trained branch mispredicted %d times", trainedWrong)
+	}
+	if coldWrong == 0 {
+		t.Fatal("cold random branches should mispredict at least once")
+	}
+}
+
+func TestBTBHitAfterInsert(t *testing.T) {
+	b := NewBTB(256, 4)
+	if _, ok := b.Lookup(0x100); ok {
+		t.Fatal("empty BTB must miss")
+	}
+	b.Insert(0x100, 0x900)
+	if tgt, ok := b.Lookup(0x100); !ok || tgt != 0x900 {
+		t.Fatalf("got (%#x,%v), want (0x900,true)", tgt, ok)
+	}
+	b.Insert(0x100, 0xA00) // update target in place
+	if tgt, _ := b.Lookup(0x100); tgt != 0xA00 {
+		t.Fatal("target update failed")
+	}
+}
+
+func TestBTBLRUReplacement(t *testing.T) {
+	b := NewBTB(2, 2)
+	// All these PCs map to set 0 (pc>>2 even).
+	pcs := []uint64{0 << 3, 2 << 3, 4 << 3}
+	b.Insert(pcs[0], 1)
+	b.Insert(pcs[1], 2)
+	b.Lookup(pcs[0]) // make pcs[1] the LRU
+	b.Insert(pcs[2], 3)
+	if _, ok := b.Lookup(pcs[1]); ok {
+		t.Fatal("LRU entry should have been evicted")
+	}
+	if _, ok := b.Lookup(pcs[0]); !ok {
+		t.Fatal("MRU entry should have survived")
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(10)
+	r.Push(20)
+	if r.Pop() != 20 || r.Pop() != 10 {
+		t.Fatal("RAS is not LIFO")
+	}
+}
+
+func TestRASRepair(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(1)
+	r.Push(2)
+	cp := r.Checkpoint()
+	// Speculative path pops the top and pushes garbage over it — the case
+	// the Skadron et al. TOS-repair mechanism is built for.
+	r.Pop()
+	r.Push(99)
+	r.Restore(cp)
+	if got := r.Pop(); got != 2 {
+		t.Fatalf("after repair Pop()=%d, want 2", got)
+	}
+	if got := r.Pop(); got != 1 {
+		t.Fatalf("after repair second Pop()=%d, want 1", got)
+	}
+}
+
+func TestRASRepairIsOnlyOneEntryDeep(t *testing.T) {
+	// The mechanism checkpoints only the TOS pointer and its contents;
+	// speculation that pops below the checkpointed top and then pushes is
+	// not fully repairable. Document that behaviour.
+	r := NewRAS(8)
+	r.Push(1)
+	r.Push(2)
+	cp := r.Checkpoint()
+	r.Pop()
+	r.Pop()
+	r.Push(99) // overwrites the slot that held 1, below the checkpointed top
+	r.Restore(cp)
+	if got := r.Pop(); got != 2 {
+		t.Fatalf("top entry must be repaired, got %d", got)
+	}
+	if got := r.Pop(); got != 99 {
+		t.Fatalf("deeper corruption is expected to persist, got %d", got)
+	}
+}
+
+func TestRASWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if r.Pop() != 3 || r.Pop() != 2 {
+		t.Fatal("wrap-around pop order wrong")
+	}
+}

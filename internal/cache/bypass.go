@@ -1,0 +1,15 @@
+package cache
+
+// NewBypass returns a bypass buffer: a small fully-associative LRU cache
+// used only by the protocol thread when its miss would conflict (same set)
+// with an in-flight application miss (paper §2.2). The paper sizes each
+// bypass buffer at 16 lines — the MSHR count — so even the pathological case
+// where every protocol access conflicts fits.
+func NewBypass(lineSize, lines int) *Cache {
+	return New(Config{
+		Size:     lineSize * lines,
+		LineSize: lineSize,
+		Assoc:    lines,
+		HitLat:   1,
+	})
+}

@@ -1,0 +1,231 @@
+// Package cache implements the cache structures of an SMTp node: the
+// set-associative LRU L1 instruction, L1 data and unified L2 caches, the
+// miss-status holding register (MSHR) file with the paper's "16 + 1 for
+// retiring stores" organization and the SMTp-reserved entry, and the small
+// fully-associative bypass buffers the protocol thread uses when its misses
+// conflict with in-flight application misses (paper §2.2).
+package cache
+
+import "fmt"
+
+// State is a cache-line coherence state. L1 caches use Invalid/Shared/
+// Modified; the L2 additionally distinguishes clean-exclusive (from the
+// protocol's eager-exclusive replies).
+type State uint8
+
+// Line states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive // clean, writable without upgrade
+	Modified  // dirty
+)
+
+// String returns a short name for the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Writable reports whether a store may hit in this state without an
+// ownership request.
+func (s State) Writable() bool { return s == Exclusive || s == Modified }
+
+// Line is one cache line's tag state.
+type Line struct {
+	Tag   uint64 // full line address (addr &^ (lineSize-1))
+	State State
+	stamp uint64 // LRU timestamp; larger = more recent
+}
+
+// Config describes a cache's geometry.
+type Config struct {
+	Size     int // bytes
+	LineSize int // bytes
+	Assoc    int // ways
+	HitLat   int // cycles for a hit (round trip)
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.Size / (c.LineSize * c.Assoc) }
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg   Config
+	sets  [][]Line
+	clock uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// New builds a cache. The geometry must divide evenly.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || cfg.Size != sets*cfg.LineSize*cfg.Assoc {
+		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+	}
+	c := &Cache{cfg: cfg, sets: make([][]Line, sets)}
+	for i := range c.sets {
+		c.sets[i] = make([]Line, cfg.Assoc)
+	}
+	return c
+}
+
+// Cfg returns the cache's configuration.
+func (c *Cache) Cfg() Config { return c.cfg }
+
+// LineAddr rounds addr down to this cache's line size.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineSize-1) }
+
+// SetIndex returns the set index for addr.
+func (c *Cache) SetIndex(addr uint64) int {
+	return int((addr / uint64(c.cfg.LineSize)) % uint64(len(c.sets)))
+}
+
+// Probe returns the line holding addr without updating LRU, or nil.
+func (c *Cache) Probe(addr uint64) *Line {
+	tag := c.LineAddr(addr)
+	set := c.sets[c.SetIndex(addr)]
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access looks up addr, updating LRU and hit/miss statistics. Returns the
+// line on hit, nil on miss.
+func (c *Cache) Access(addr uint64) *Line {
+	if l := c.Probe(addr); l != nil {
+		c.clock++
+		l.stamp = c.clock
+		c.Hits++
+		return l
+	}
+	c.Misses++
+	return nil
+}
+
+// Fill installs addr with the given state, returning the evicted line (its
+// State is Invalid if the way was free). The new line becomes MRU.
+func (c *Cache) Fill(addr uint64, st State) (evicted Line) {
+	tag := c.LineAddr(addr)
+	set := c.sets[c.SetIndex(addr)]
+	victim := 0
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == tag {
+			// Refill of a present line: just update state/LRU.
+			set[i].State = st
+			c.clock++
+			set[i].stamp = c.clock
+			return Line{}
+		}
+		if set[i].State == Invalid {
+			victim = i
+		} else if set[victim].State != Invalid && set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	evicted = set[victim]
+	c.clock++
+	set[victim] = Line{Tag: tag, State: st, stamp: c.clock}
+	return evicted
+}
+
+// WouldEvict returns the line that a Fill of addr would displace, without
+// modifying anything. The returned line has State Invalid if a free way or
+// the line itself is present.
+func (c *Cache) WouldEvict(addr uint64) Line {
+	tag := c.LineAddr(addr)
+	set := c.sets[c.SetIndex(addr)]
+	victim := 0
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == tag {
+			return Line{}
+		}
+		if set[i].State == Invalid {
+			return Line{}
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	return set[victim]
+}
+
+// Invalidate removes addr's line, returning its prior state.
+func (c *Cache) Invalidate(addr uint64) State {
+	if l := c.Probe(addr); l != nil {
+		st := l.State
+		l.State = Invalid
+		return st
+	}
+	return Invalid
+}
+
+// SetState changes the state of a present line (no-op if absent).
+func (c *Cache) SetState(addr uint64, st State) {
+	if l := c.Probe(addr); l != nil {
+		l.State = st
+	}
+}
+
+// InvalidateRange invalidates every line of this cache overlapping
+// [base, base+size), returning true if any invalidated line was Modified.
+// Used to maintain inclusion when an outer cache loses a (larger) line.
+func (c *Cache) InvalidateRange(base uint64, size int) (anyDirty bool) {
+	for a := c.LineAddr(base); a < base+uint64(size); a += uint64(c.cfg.LineSize) {
+		if c.Invalidate(a) == Modified {
+			anyDirty = true
+		}
+	}
+	return anyDirty
+}
+
+// DowngradeRange moves every Modified/Exclusive line overlapping
+// [base, base+size) to Shared, returning true if any was Modified.
+func (c *Cache) DowngradeRange(base uint64, size int) (anyDirty bool) {
+	for a := c.LineAddr(base); a < base+uint64(size); a += uint64(c.cfg.LineSize) {
+		if l := c.Probe(a); l != nil {
+			if l.State == Modified {
+				anyDirty = true
+			}
+			if l.State.Writable() {
+				l.State = Shared
+			}
+		}
+	}
+	return anyDirty
+}
+
+// Flush invalidates the entire cache (test helper).
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = Line{}
+		}
+	}
+}
+
+// Lines calls fn for every valid line (order unspecified). Used by the
+// machine-level coherence invariant checker.
+func (c *Cache) Lines(fn func(tag uint64, st State)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].State != Invalid {
+				fn(c.sets[s][w].Tag, c.sets[s][w].State)
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package cache
+
+// MSHRClass says who is allocating a miss-status holding register.
+type MSHRClass uint8
+
+// Allocation classes.
+const (
+	// ClassApp is an ordinary application load/store/prefetch miss.
+	ClassApp MSHRClass = iota
+	// ClassStoreRetire is a retiring store draining from the store buffer;
+	// it may use the dedicated "+1" entry (paper Table 2).
+	ClassStoreRetire
+	// ClassProtocol is a protocol-thread miss; in SMTp one general entry is
+	// reserved so the protocol thread can always make progress (§2.2).
+	ClassProtocol
+)
+
+// MSHREntry tracks one outstanding line miss. Waiters are opaque tokens the
+// owner (the pipeline's load/store machinery) interprets when the refill
+// arrives.
+type MSHREntry struct {
+	LineAddr  uint64
+	Exclusive bool // ownership (write) request
+	Class     MSHRClass
+	Issued    bool // request has left for the memory system
+	AcksLeft  int  // eager-exclusive replies: invalidation acks still due
+	Waiters   []interface{}
+
+	inUse     bool
+	storeSlot bool // occupying the dedicated retiring-store entry
+}
+
+// MSHRFile is the miss-status holding register file: `general` shared
+// entries plus one dedicated retiring-store entry. When protocolReserved is
+// set (SMTp), application classes may use at most general-1 of the shared
+// entries.
+type MSHRFile struct {
+	general          []MSHREntry
+	storeEntry       MSHREntry
+	protocolReserved bool
+
+	AllocFails uint64
+}
+
+// NewMSHRFile builds a file with the given number of general entries.
+func NewMSHRFile(general int, protocolReserved bool) *MSHRFile {
+	return &MSHRFile{
+		general:          make([]MSHREntry, general),
+		protocolReserved: protocolReserved,
+	}
+}
+
+// InUse returns the number of occupied general entries.
+func (f *MSHRFile) InUse() int {
+	n := 0
+	for i := range f.general {
+		if f.general[i].inUse {
+			n++
+		}
+	}
+	return n
+}
+
+// StoreSlotBusy reports whether the dedicated retiring-store entry is taken.
+func (f *MSHRFile) StoreSlotBusy() bool { return f.storeEntry.inUse }
+
+// Find returns the entry outstanding for lineAddr, or nil.
+func (f *MSHRFile) Find(lineAddr uint64) *MSHREntry {
+	for i := range f.general {
+		if f.general[i].inUse && f.general[i].LineAddr == lineAddr {
+			return &f.general[i]
+		}
+	}
+	if f.storeEntry.inUse && f.storeEntry.LineAddr == lineAddr {
+		return &f.storeEntry
+	}
+	return nil
+}
+
+// CanAlloc reports whether a new entry of the given class could be allocated
+// right now.
+func (f *MSHRFile) CanAlloc(class MSHRClass) bool {
+	free := len(f.general) - f.InUse()
+	switch class {
+	case ClassProtocol:
+		return free >= 1
+	case ClassStoreRetire:
+		if !f.storeEntry.inUse {
+			return true
+		}
+		fallthrough
+	default: // ClassApp, or store-retire overflowing into general entries
+		if f.protocolReserved {
+			return free >= 2 // one general entry is protocol-only
+		}
+		return free >= 1
+	}
+}
+
+// Alloc creates an entry for lineAddr. Callers must Find first: allocating a
+// line that is already outstanding is a bug and panics. Returns nil when the
+// class's capacity is exhausted.
+func (f *MSHRFile) Alloc(lineAddr uint64, exclusive bool, class MSHRClass) *MSHREntry {
+	if f.Find(lineAddr) != nil {
+		panic("cache: MSHR double allocation")
+	}
+	if !f.CanAlloc(class) {
+		f.AllocFails++
+		return nil
+	}
+	if class == ClassStoreRetire && !f.storeEntry.inUse {
+		f.storeEntry = MSHREntry{
+			LineAddr: lineAddr, Exclusive: exclusive, Class: class,
+			inUse: true, storeSlot: true,
+		}
+		return &f.storeEntry
+	}
+	for i := range f.general {
+		if !f.general[i].inUse {
+			f.general[i] = MSHREntry{
+				LineAddr: lineAddr, Exclusive: exclusive, Class: class, inUse: true,
+			}
+			return &f.general[i]
+		}
+	}
+	panic("cache: CanAlloc said yes but no free entry")
+}
+
+// Free releases an entry.
+func (f *MSHRFile) Free(e *MSHREntry) {
+	if !e.inUse {
+		panic("cache: MSHR double free")
+	}
+	*e = MSHREntry{}
+}
+
+// Entries calls fn on every in-use entry (leak checking in tests).
+func (f *MSHRFile) Entries(fn func(*MSHREntry)) {
+	for i := range f.general {
+		if f.general[i].inUse {
+			fn(&f.general[i])
+		}
+	}
+	if f.storeEntry.inUse {
+		fn(&f.storeEntry)
+	}
+}

@@ -1,0 +1,117 @@
+// Package coherence implements the directory-based invalidation cache
+// coherence protocol of the simulated DSM machine: an SGI-Origin-2000-
+// derived bitvector protocol with eager-exclusive replies, busy states with
+// NAK/retry, three-hop interventions, and writeback-race resolution
+// (paper §3).
+//
+// Each protocol handler exists in two fused forms: a *semantic* part that
+// really reads and writes directory entries, probes/invalidates the local
+// cache hierarchy, and emits messages; and a *timing* part — a static
+// program of abstract-ISA instructions. Executing a handler interprets the
+// static program against the machine state, producing the executed-path
+// dynamic instruction trace (loads/stores with concrete directory
+// addresses, branches with resolved outcomes, sends). That trace is then
+// costed either on the embedded dual-issue protocol processor
+// (internal/ppengine) or fetched and executed by the SMTp protocol thread
+// on the main pipeline.
+package coherence
+
+import (
+	"smtpsim/internal/network"
+)
+
+// MsgType enumerates protocol messages. The first group are processor-
+// interface pseudo-messages enqueued by the local miss interface; the rest
+// travel on the network (or loop back when src == dst).
+type MsgType uint8
+
+// Protocol message types.
+const (
+	// Processor interface (local miss interface) requests.
+	MsgPIRead      MsgType = iota // application load miss
+	MsgPIWrite                    // application store miss (needs ownership)
+	MsgPIUpgrade                  // store hit on Shared line
+	MsgPIWriteback                // L2 eviction of a dirty/exclusive line
+
+	// Requests to the home (VCRequest).
+	MsgGET     // read
+	MsgGETX    // read exclusive
+	MsgUPGRADE // ownership only
+	MsgWB      // writeback (carries data)
+
+	// Interventions from home to third parties (VCIntervention).
+	MsgINVAL   // invalidate a sharer; ack goes to Requester
+	MsgISHARED // downgrade dirty owner; data to Requester, SHWB to home
+	MsgIEXCL   // invalidate dirty owner; data to Requester, XFER to home
+
+	// Replies (VCReply).
+	MsgPUT    // shared data reply
+	MsgPUTX   // exclusive data reply; Aux = invalidation acks to expect
+	MsgUPGACK // upgrade granted; Aux = acks to expect
+	MsgNAK    // busy/stale: retry
+	MsgIACK   // invalidation ack (to the requester)
+	MsgWBACK  // writeback acknowledged
+	MsgSHWB   // sharing writeback: owner -> home after ISHARED
+	MsgXFER   // ownership transfer: owner -> home after IEXCL
+	MsgIVNAK  // intervention found no line (writeback race): owner -> home
+
+	NumMsgTypes
+)
+
+var msgNames = [NumMsgTypes]string{
+	"PIRead", "PIWrite", "PIUpgrade", "PIWriteback",
+	"GET", "GETX", "UPGRADE", "WB",
+	"INVAL", "ISHARED", "IEXCL",
+	"PUT", "PUTX", "UPGACK", "NAK", "IACK", "WBACK", "SHWB", "XFER", "IVNAK",
+}
+
+// String names the message type.
+func (t MsgType) String() string {
+	if int(t) < len(msgNames) {
+		return msgNames[t]
+	}
+	return "Msg?"
+}
+
+// VC returns the virtual network the message type travels on. Keeping
+// requests, replies, and interventions on distinct virtual networks is what
+// makes the protocol deadlock-free (paper Table 3: 4 virtual networks,
+// protocol uses 3).
+func (t MsgType) VC() network.VC {
+	switch t {
+	case MsgGET, MsgGETX, MsgUPGRADE, MsgWB:
+		return network.VCRequest
+	case MsgINVAL, MsgISHARED, MsgIEXCL:
+		return network.VCIntervention
+	default:
+		return network.VCReply
+	}
+}
+
+// DataBytes returns the payload size carried by the message type.
+func (t MsgType) DataBytes() int {
+	switch t {
+	case MsgWB, MsgPUT, MsgPUTX, MsgSHWB:
+		return 128
+	}
+	return 0
+}
+
+// WantsMemory reports whether the handler dispatch unit should initiate a
+// local SDRAM read in parallel with handler dispatch because the message
+// may be answered with a cache-line data reply from memory (paper §2.1).
+func (t MsgType) WantsMemory() bool {
+	switch t {
+	case MsgGET, MsgGETX, MsgIVNAK:
+		return true
+	case MsgPIRead, MsgPIWrite:
+		// Only useful when this node is the home; the dispatch glue checks.
+		return true
+	}
+	return false
+}
+
+// IsLocalPI reports whether the type is a processor-interface pseudo-message.
+func (t MsgType) IsLocalPI() bool {
+	return t == MsgPIRead || t == MsgPIWrite || t == MsgPIUpgrade || t == MsgPIWriteback
+}

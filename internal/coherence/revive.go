@@ -1,0 +1,153 @@
+package coherence
+
+import (
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/directory"
+	"smtpsim/internal/isa"
+)
+
+// ReVive-style rollback logging (paper §1/§6, reference [34]): because the
+// coherence protocol is software on the protocol thread, fault-tolerance
+// schemes that extend the protocol become a different protocol table rather
+// than new hardware. This extension logs, once per checkpoint epoch, the
+// pre-write memory image of every line that becomes writable (and of every
+// line whose writeback overwrites memory), by running extra protocol-thread
+// instructions in the write-path handlers — metadata loads, log stores —
+// that pollute the caches and occupy the pipeline exactly as the paper
+// argues such extensions would.
+
+// Log region layout: inside the directory ("unmapped") region so every
+// model treats log traffic as protocol data.
+const (
+	logMetaBase  = addrmap.DirBase | 1<<39
+	logDataBase  = addrmap.DirBase | 1<<39 | 1<<35
+	logMetaSlots = 1 << 17
+	logCapacity  = 1 << 16 // entries (lines) before the ring wraps
+)
+
+// ReviveLog is the per-machine logging state: which lines were already
+// logged this epoch and where the next log entry goes (one cursor per home
+// so log writes stay node-local).
+type ReviveLog struct {
+	epoch   uint64
+	logged  map[uint64]uint64 // line -> epoch last logged
+	cursors map[addrmap.NodeID]uint64
+
+	// Entries counts log records written across all homes.
+	Entries uint64
+	// Checkpoints counts epoch boundaries.
+	Checkpoints uint64
+}
+
+// NewReviveLog returns an empty log in epoch 1.
+func NewReviveLog() *ReviveLog {
+	return &ReviveLog{
+		epoch:   1,
+		logged:  make(map[uint64]uint64),
+		cursors: make(map[addrmap.NodeID]uint64),
+	}
+}
+
+// Checkpoint starts a new epoch: every line becomes loggable again. (A real
+// ReVive checkpoint also snapshots registers and flushes caches; the
+// protocol-visible cost modeled here is the log traffic.)
+func (l *ReviveLog) Checkpoint() {
+	l.epoch++
+	l.Checkpoints++
+}
+
+// metaAddr hashes a line to its log-metadata word.
+func metaAddr(line uint64) uint64 {
+	return logMetaBase + ((line/addrmap.CoherenceLineSize)%logMetaSlots)*8
+}
+
+// shouldLog decides whether handling msg must write a log record, marking
+// the line logged when so.
+func (l *ReviveLog) shouldLog(c *Ctx) bool {
+	line := c.Line()
+	// Only the home logs, and only for its own lines.
+	if c.Env.HomeOf(line) != c.Env.NodeID() {
+		return false
+	}
+	if l.logged[line] == l.epoch {
+		return false
+	}
+	switch MsgType(c.Msg.Type) {
+	case MsgGETX, MsgUPGRADE, MsgPIWrite, MsgPIUpgrade:
+		// Memory is current only while the line is Unowned or Shared;
+		// that pre-write image is what must be preserved.
+		st := c.Env.DirLoad(line).State
+		if st != directory.Unowned && st != directory.Shared {
+			return false
+		}
+	case MsgWB, MsgPIWriteback:
+		// The writeback is about to overwrite memory.
+	default:
+		return false
+	}
+	l.logged[line] = l.epoch
+	l.Entries++
+	return true
+}
+
+// entryAddr allocates the next log line at the handling home.
+func (l *ReviveLog) entryAddr(c *Ctx) uint64 {
+	n := c.Env.NodeID()
+	slot := l.cursors[n] % logCapacity
+	l.cursors[n]++
+	return logDataBase + uint64(n)<<28 + slot*addrmap.CoherenceLineSize
+}
+
+// loggingPrefix builds the instruction block run before a write-path
+// handler: load the log metadata word, branch around the logging when the
+// line is already covered, then write the log record (two stores into the
+// log line) and the metadata update.
+func loggingPrefix(l *ReviveLog) []PInstr {
+	shouldNot := func(c *Ctx) bool { return !c.logNeeded }
+	decide := func(c *Ctx) {
+		c.logNeeded = l.shouldLog(c)
+	}
+	meta := func(c *Ctx) uint64 { return metaAddr(c.Line()) }
+	entry0 := func(c *Ctx) uint64 { c.logEntry = l.entryAddr(c); return c.logEntry }
+	entry1 := func(c *Ctx) uint64 { return c.logEntry + 64 }
+	const skip = 7 // slot just past this prefix
+	return []PInstr{
+		{Op: isa.OpLoad, Dst: rT4, Addr: meta, Act: decide},
+		{Op: isa.OpBranch, Src1: rT4, Cond: shouldNot, Tgt: skip},
+		{Op: isa.OpIntALU, Dst: rT3, Src1: rT4},
+		{Op: isa.OpStore, Src1: rT3, Addr: entry0},
+		{Op: isa.OpStore, Src1: rT3, Addr: entry1},
+		{Op: isa.OpStore, Src1: rT4, Addr: meta},
+		{Op: isa.OpIntALU, Dst: rT4, Src1: rT3},
+	}
+}
+
+// withLogging prepends the logging block to a handler, rebasing it to its
+// own code address (different protocol code trains the predictors at
+// different PCs, as it would on real SMTp).
+func withLogging(l *ReviveLog, mt MsgType, orig *Program) *Program {
+	prefix := loggingPrefix(l)
+	shift := len(prefix)
+	code := make([]PInstr, 0, shift+len(orig.Code))
+	code = append(code, prefix...)
+	for _, pi := range orig.Code {
+		pi.Tgt += shift
+		code = append(code, pi)
+	}
+	return &Program{
+		Name: "revive_" + orig.Name,
+		Base: addrmap.CodeBase + 64*1024 + uint64(mt)*1024,
+		Code: code,
+	}
+}
+
+// NewReviveTable derives the logging protocol from the base table.
+func NewReviveTable(l *ReviveLog) *Table {
+	t := DefaultTable().Clone()
+	for _, mt := range []MsgType{
+		MsgGETX, MsgUPGRADE, MsgPIWrite, MsgPIUpgrade, MsgWB, MsgPIWriteback,
+	} {
+		t.Replace(mt, withLogging(l, mt, t.Program(mt)))
+	}
+	return t
+}

@@ -1,0 +1,238 @@
+// Package core is the public API of the SMTp reproduction: it builds the
+// paper's machine models, attaches the six applications, runs them to
+// completion, and extracts every metric the evaluation section reports —
+// normalized execution time split into memory-stall and non-memory cycles
+// (Figures 2-11), self-relative speedups (Tables 5-6), protocol occupancy
+// (Table 7), protocol-thread characteristics (Table 8), and protocol-thread
+// resource occupancy (Table 9).
+package core
+
+import (
+	"fmt"
+
+	"smtpsim/internal/coherence"
+	"smtpsim/internal/machine"
+	"smtpsim/internal/pipeline"
+	"smtpsim/internal/sim"
+	"smtpsim/internal/stats"
+	"smtpsim/internal/workload"
+)
+
+// Model re-exports the machine models.
+type Model = machine.Model
+
+// The five machine models of Table 4.
+const (
+	Base       = machine.Base
+	IntPerfect = machine.IntPerfect
+	Int512KB   = machine.Int512KB
+	Int64KB    = machine.Int64KB
+	SMTp       = machine.SMTp
+)
+
+// Models lists the five machine models in paper order.
+func Models() []Model { return machine.Models() }
+
+// App re-exports the applications.
+type App = workload.App
+
+// The six applications of Table 1.
+const (
+	FFT   = workload.FFT
+	FFTW  = workload.FFTW
+	LU    = workload.LU
+	Ocean = workload.Ocean
+	Radix = workload.Radix
+	Water = workload.Water
+)
+
+// Apps lists the six applications in paper order.
+func Apps() []App { return workload.Apps() }
+
+// Config selects one run.
+type Config struct {
+	Model      Model
+	App        App
+	Nodes      int
+	AppThreads int     // 1, 2, or 4 ("n-way")
+	CPUGHz     float64 // 2 (default) or 4
+	Scale      float64 // workload problem-size multiplier
+	Seed       uint64
+	SizeFor    int // strong-scaling anchor; 0 = AppThreads*Nodes
+
+	// MaxCycles bounds the run (0 = a generous default).
+	MaxCycles sim.Cycle
+	// PipeTweak adjusts the core configuration (ablations).
+	PipeTweak func(*pipeline.Config)
+	// Protocol optionally replaces the coherence protocol table on every
+	// node (extensions such as coherence.NewReviveTable).
+	Protocol *coherence.Table
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.AppThreads == 0 {
+		c.AppThreads = 1
+	}
+	if c.CPUGHz == 0 {
+		c.CPUGHz = 2
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 300_000_000
+	}
+	return c
+}
+
+// Result carries every metric a run produces.
+type Result struct {
+	Cfg       Config
+	Completed bool
+	Cycles    sim.Cycle
+
+	// Execution-time split (averaged over application threads).
+	MemStallFrac float64
+	NonMemFrac   float64
+
+	// Protocol work (Table 7): busy fraction per node; Peak is the paper's
+	// reported number.
+	ProtoOccupancy     []float64
+	ProtoOccupancyPeak float64
+
+	// Protocol-thread characteristics (Table 8; SMTp only).
+	ProtoBrMispredRate float64
+	ProtoSquashPct     float64
+	ProtoRetiredPct    float64
+
+	// Protocol-thread resource occupancy (Table 9; SMTp only): peak across
+	// nodes and mean of per-node peaks.
+	OccBrStack, OccIntRegs, OccIQ, OccLSQ OccPair
+
+	// Raw counters for further analysis.
+	RetiredApp   uint64
+	RetiredProto uint64
+	L1DMisses    uint64
+	L2Misses     uint64
+	NetworkMsgs  uint64
+	BypassFills  uint64
+	Dispatched   uint64
+	LookAheads   uint64
+	Deferred     uint64
+	CoherenceErr error
+}
+
+// OccPair is a (peak across nodes, mean of per-node peaks) pair as in
+// Table 9.
+type OccPair struct {
+	Peak int
+	Mean float64
+}
+
+func (o OccPair) String() string { return fmt.Sprintf("%d, %.0f", o.Peak, o.Mean) }
+
+// BuildWorkload constructs the application for a config (exported so a
+// suite can share one workload across the five models).
+func BuildWorkload(cfg Config) *workload.Workload {
+	cfg = cfg.withDefaults()
+	return workload.Build(workload.Params{
+		App:     cfg.App,
+		Threads: cfg.Nodes * cfg.AppThreads,
+		Nodes:   cfg.Nodes,
+		Scale:   cfg.Scale,
+		Seed:    cfg.Seed + 1,
+		SizeFor: cfg.SizeFor,
+	})
+}
+
+// Run builds the machine and workload and runs to completion.
+func Run(cfg Config) *Result {
+	return RunWorkload(cfg, BuildWorkload(cfg))
+}
+
+// RunWorkload runs a pre-built workload on a fresh machine.
+func RunWorkload(cfg Config, w *workload.Workload) *Result {
+	cfg = cfg.withDefaults()
+	m := machine.New(machine.Config{
+		Model:      cfg.Model,
+		Nodes:      cfg.Nodes,
+		AppThreads: cfg.AppThreads,
+		CPUGHz:     cfg.CPUGHz,
+		PipeTweak:  cfg.PipeTweak,
+		Protocol:   cfg.Protocol,
+	})
+	workload.Attach(m, w)
+	cycles, done := m.Run(cfg.MaxCycles)
+	return harvest(cfg, m, cycles, done)
+}
+
+func harvest(cfg Config, m *machine.Machine, cycles sim.Cycle, done bool) *Result {
+	r := &Result{Cfg: cfg, Completed: done, Cycles: cycles}
+	r.NetworkMsgs = m.Net.Sent
+	if done {
+		r.CoherenceErr = m.CheckCoherence()
+	}
+
+	var memStallSum float64
+	var appThreads int
+	var brRes, brMis, squashCyc uint64
+	var brStack, intRegs, iq, lsq stats.Peak
+
+	for _, n := range m.Nodes {
+		p := n.Pipe
+		total := float64(p.Cycles)
+		for t := 0; t < cfg.AppThreads; t++ {
+			memStallSum += float64(p.MemStallCycles[t]) / total
+			appThreads++
+			r.RetiredApp += p.Retired[t]
+		}
+		r.L1DMisses += p.L1DMissed
+		r.L2Misses += p.L2Missed
+		r.BypassFills += p.BypassFills
+		r.Dispatched += n.MC.Dispatched
+		r.Deferred += n.DeferredInterventions
+
+		var occ float64
+		if cfg.Model == SMTp {
+			occ = float64(p.ProtoActiveCyc) / total
+			pt := p.ProtoTID()
+			r.RetiredProto += p.Retired[pt]
+			brRes += p.BrResolved[pt]
+			brMis += p.BrMispredicted[pt]
+			squashCyc += p.SquashCycles[pt]
+			d, la, _ := p.ProtoStats()
+			_ = d
+			r.LookAheads += la
+			brStack.Sample(p.ProtoOccBrStack.Max())
+			intRegs.Sample(p.ProtoOccIntReg.Max())
+			iq.Sample(p.ProtoOccIQ.Max())
+			lsq.Sample(p.ProtoOccLSQ.Max())
+		} else if n.PP != nil {
+			mcTicks := total / float64(n.MC.Cfg().ClockDiv)
+			occ = float64(n.PP.Engine.BusyCycles) / mcTicks
+			r.RetiredProto += n.PP.Engine.Retired
+		}
+		r.ProtoOccupancy = append(r.ProtoOccupancy, occ)
+		if occ > r.ProtoOccupancyPeak {
+			r.ProtoOccupancyPeak = occ
+		}
+	}
+	if appThreads > 0 {
+		r.MemStallFrac = memStallSum / float64(appThreads)
+		r.NonMemFrac = 1 - r.MemStallFrac
+	}
+	if cfg.Model == SMTp {
+		r.ProtoBrMispredRate = stats.Ratio(brMis, brRes)
+		totalCyc := float64(cycles) * float64(cfg.Nodes)
+		r.ProtoSquashPct = 100 * float64(squashCyc) / totalCyc
+		r.ProtoRetiredPct = 100 * stats.Ratio(r.RetiredProto, r.RetiredProto+r.RetiredApp)
+		r.OccBrStack = OccPair{brStack.Max(), brStack.Mean()}
+		r.OccIntRegs = OccPair{intRegs.Max(), intRegs.Mean()}
+		r.OccIQ = OccPair{iq.Max(), iq.Mean()}
+		r.OccLSQ = OccPair{lsq.Max(), lsq.Mean()}
+	}
+	return r
+}

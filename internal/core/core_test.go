@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func small() Suite { return Suite{CPUGHz: 2, Scale: 0.25, Seed: 7} }
+
+func TestRunCompletesCleanly(t *testing.T) {
+	for _, model := range Models() {
+		res := Run(Config{Model: model, App: Water, Nodes: 2, AppThreads: 1, Scale: 0.25, Seed: 1})
+		if !res.Completed {
+			t.Fatalf("%v: did not complete", model)
+		}
+		if res.CoherenceErr != nil {
+			t.Fatalf("%v: %v", model, res.CoherenceErr)
+		}
+		if res.Cycles == 0 || res.RetiredApp == 0 {
+			t.Fatalf("%v: empty run", model)
+		}
+		if res.MemStallFrac < 0 || res.MemStallFrac > 1 {
+			t.Fatalf("%v: bad mem stall fraction %v", model, res.MemStallFrac)
+		}
+	}
+}
+
+func TestSMTpMetricsPopulated(t *testing.T) {
+	res := Run(Config{Model: SMTp, App: FFT, Nodes: 2, AppThreads: 1, Scale: 0.25, Seed: 3})
+	if !res.Completed || res.CoherenceErr != nil {
+		t.Fatalf("run failed: %v", res.CoherenceErr)
+	}
+	if res.RetiredProto == 0 {
+		t.Fatal("protocol instructions must retire")
+	}
+	if res.ProtoOccupancyPeak <= 0 || res.ProtoOccupancyPeak >= 1 {
+		t.Fatalf("implausible protocol occupancy %v", res.ProtoOccupancyPeak)
+	}
+	if res.ProtoRetiredPct <= 0 || res.ProtoRetiredPct >= 80 {
+		t.Fatalf("implausible retired-protocol%% %v", res.ProtoRetiredPct)
+	}
+	if res.OccIntRegs.Peak < 32 {
+		t.Fatalf("protocol thread holds >= 32 int regs, got %d", res.OccIntRegs.Peak)
+	}
+	if res.OccLSQ.Peak < 2 {
+		t.Fatalf("protocol thread holds >= 2 LSQ slots when active, got %d", res.OccLSQ.Peak)
+	}
+}
+
+func TestPPModelsReportOccupancy(t *testing.T) {
+	res := Run(Config{Model: Int512KB, App: FFT, Nodes: 2, AppThreads: 1, Scale: 0.25, Seed: 3})
+	if res.ProtoOccupancyPeak <= 0 {
+		t.Fatal("embedded protocol processor occupancy must be positive")
+	}
+	if res.RetiredProto == 0 {
+		t.Fatal("PP retired-instruction count missing")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := Config{Model: SMTp, App: Radix, Nodes: 2, AppThreads: 2, Scale: 0.25, Seed: 5}
+	a, b := Run(cfg), Run(cfg)
+	if a.Cycles != b.Cycles || a.RetiredApp != b.RetiredApp || a.NetworkMsgs != b.NetworkMsgs {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", a.Cycles, a.RetiredApp, b.Cycles, b.RetiredApp)
+	}
+}
+
+func TestFigureShape(t *testing.T) {
+	f := small().RunFigure("test figure", 2, 1)
+	if len(f.Cells) != len(Apps())*len(Models()) {
+		t.Fatalf("figure has %d cells", len(f.Cells))
+	}
+	for _, app := range Apps() {
+		base := f.Cell(app, Base)
+		if base == nil || base.NormTime != 1 {
+			t.Fatalf("%v: Base must normalize to 1.0, got %+v", app, base)
+		}
+		for _, m := range Models() {
+			c := f.Cell(app, m)
+			if c.NormTime <= 0 || c.NormTime > 3 {
+				t.Fatalf("%v/%v: norm time %v out of range", app, m, c.NormTime)
+			}
+			if c.MemStall+c.NonMem < 0.99*c.NormTime || c.MemStall+c.NonMem > 1.01*c.NormTime {
+				t.Fatalf("%v/%v: stall split does not add up", app, m)
+			}
+			if !c.Result.Completed || c.Result.CoherenceErr != nil {
+				t.Fatalf("%v/%v: run failed (%v)", app, m, c.Result.CoherenceErr)
+			}
+		}
+	}
+	out := f.Render()
+	if !strings.Contains(out, "SMTp") || !strings.Contains(out, "FFT") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	st := small().RunSpeedup(SMTp, 2, []int{1, 2})
+	for _, app := range Apps() {
+		sp := st.Speedup[app]
+		if len(sp) != 2 {
+			t.Fatalf("%v: missing speedups", app)
+		}
+		if sp[0] <= 0.5 {
+			t.Fatalf("%v: 2-node 1-way speedup %v implausible", app, sp[0])
+		}
+	}
+	if !strings.Contains(st.Render(), "speedup") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestOccupancyTableOrdering(t *testing.T) {
+	ot := small().RunOccupancy(2)
+	for _, app := range Apps() {
+		occ := ot.Occupancy[app]
+		if len(occ) != 4 {
+			t.Fatalf("%v: want 4 models", app)
+		}
+		for i, v := range occ {
+			if v < 0 || v > 100 {
+				t.Fatalf("%v model %d: occupancy %v%%", app, i, v)
+			}
+		}
+		// Base (slow controller) must have higher occupancy than
+		// IntPerfect (fastest controller), as in the paper.
+		if occ[0] <= occ[1] {
+			t.Fatalf("%v: Base occupancy (%v) must exceed IntPerfect (%v)", app, occ[0], occ[1])
+		}
+	}
+	_ = ot.Render()
+}
+
+func TestProtoCharAndResourceTables(t *testing.T) {
+	s := small()
+	pc := s.RunProtoChar(2)
+	if len(pc.Rows) != 6 {
+		t.Fatal("Table 8 needs 6 rows")
+	}
+	for _, r := range pc.Rows {
+		if r.RetiredInsPct < 0 || r.RetiredInsPct > 60 {
+			t.Fatalf("%v: retired%% %v", r.App, r.RetiredInsPct)
+		}
+		if r.BrMispredRate < 0 || r.BrMispredRate > 100 {
+			t.Fatalf("%v: mispred %v", r.App, r.BrMispredRate)
+		}
+	}
+	rt := s.RunResource(2)
+	for _, r := range rt.Rows {
+		if r.IntRegs.Peak < 32 {
+			t.Fatalf("%v: int reg peak %d < 32", r.App, r.IntRegs.Peak)
+		}
+		if r.IQ.Peak < 0 || r.LSQ.Peak < 2 {
+			t.Fatalf("%v: queue peaks %d/%d", r.App, r.IQ.Peak, r.LSQ.Peak)
+		}
+	}
+	if !strings.Contains(pc.Render(), "Br.Mis") || !strings.Contains(rt.Render(), "Int.Regs") {
+		t.Fatal("renders incomplete")
+	}
+}
+
+func TestMemoryIntensiveVsComputeIntensive(t *testing.T) {
+	// The paper's two application categories must emerge: protocol
+	// occupancy of LU and Water well below FFT and Ocean (Table 7).
+	ot := small().RunOccupancy(2)
+	smtpIdx := 3
+	for _, light := range []App{LU, Water} {
+		for _, heavy := range []App{FFT, Ocean} {
+			if ot.Occupancy[light][smtpIdx] >= ot.Occupancy[heavy][smtpIdx] {
+				t.Fatalf("%v occupancy (%.2f) should be below %v (%.2f)",
+					light, ot.Occupancy[light][smtpIdx], heavy, ot.Occupancy[heavy][smtpIdx])
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV emitters so regenerated tables and figures can be plotted directly.
+// Every writer emits a header row and one row per (application, …) cell.
+
+func writeCSV(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// CSV writes the figure as rows of app, model, normalized time, and the
+// memory-stall/non-memory split (the stacked bars of Figures 2-11).
+func (fig *Figure) CSV(w io.Writer) error {
+	rows := [][]string{{"app", "model", "nodes", "way", "ghz",
+		"norm_time", "mem_stall", "non_mem", "cycles"}}
+	for i := range fig.Cells {
+		c := &fig.Cells[i]
+		rows = append(rows, []string{
+			c.App.String(), c.Model.String(),
+			strconv.Itoa(fig.Nodes), strconv.Itoa(fig.Way), f(fig.GHz),
+			f(c.NormTime), f(c.MemStall), f(c.NonMem),
+			strconv.FormatUint(uint64(c.Result.Cycles), 10),
+		})
+	}
+	return writeCSV(w, rows)
+}
+
+// CSV writes the speedup table (Tables 5-6).
+func (t *SpeedupTable) CSV(w io.Writer) error {
+	rows := [][]string{{"app", "model", "nodes", "way", "speedup"}}
+	for _, app := range Apps() {
+		for i, way := range t.Ways {
+			rows = append(rows, []string{
+				app.String(), t.Model.String(),
+				strconv.Itoa(t.Nodes), strconv.Itoa(way),
+				f(t.Speedup[app][i]),
+			})
+		}
+	}
+	return writeCSV(w, rows)
+}
+
+// CSV writes the protocol occupancy table (Table 7).
+func (t *OccupancyTable) CSV(w io.Writer) error {
+	rows := [][]string{{"app", "model", "nodes", "occupancy_pct"}}
+	for _, app := range Apps() {
+		for i, m := range t.Models {
+			rows = append(rows, []string{
+				app.String(), m.String(), strconv.Itoa(t.Nodes),
+				f(t.Occupancy[app][i]),
+			})
+		}
+	}
+	return writeCSV(w, rows)
+}
+
+// CSV writes the protocol-thread characteristics table (Table 8).
+func (t *ProtoCharTable) CSV(w io.Writer) error {
+	rows := [][]string{{"app", "nodes", "br_mispred_pct", "squash_pct", "retired_ins_pct"}}
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			r.App.String(), strconv.Itoa(t.Nodes),
+			f(r.BrMispredRate), f(r.SquashPct), f(r.RetiredInsPct),
+		})
+	}
+	return writeCSV(w, rows)
+}
+
+// CSV writes the resource occupancy table (Table 9) as peak and
+// mean-of-peaks pairs.
+func (t *ResourceTable) CSV(w io.Writer) error {
+	rows := [][]string{{"app", "nodes",
+		"br_stack_peak", "br_stack_mean", "int_regs_peak", "int_regs_mean",
+		"iq_peak", "iq_mean", "lsq_peak", "lsq_mean"}}
+	for _, r := range t.Rows {
+		rows = append(rows, []string{
+			r.App.String(), strconv.Itoa(t.Nodes),
+			strconv.Itoa(r.BrStack.Peak), f(r.BrStack.Mean),
+			strconv.Itoa(r.IntRegs.Peak), f(r.IntRegs.Mean),
+			strconv.Itoa(r.IQ.Peak), f(r.IQ.Mean),
+			strconv.Itoa(r.LSQ.Peak), f(r.LSQ.Mean),
+		})
+	}
+	return writeCSV(w, rows)
+}
+
+// Interface checks: everything the paperbench emits knows how to CSV itself.
+var (
+	_ = fmt.Stringer(App(0))
+)

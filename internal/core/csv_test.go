@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureCSV(t *testing.T) {
+	f := (Suite{CPUGHz: 2, Scale: 0.2, Seed: 7}).RunFigure("t", 1, 1)
+	var b strings.Builder
+	if err := f.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+len(Apps())*len(Models()) {
+		t.Fatalf("want %d rows, got %d", 1+len(Apps())*len(Models()), len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "app,model,") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.Contains(out, "SMTp") || !strings.Contains(out, "Radix-Sort") {
+		t.Fatal("missing cells")
+	}
+}
+
+func TestTableCSVs(t *testing.T) {
+	s := Suite{CPUGHz: 2, Scale: 0.2, Seed: 7}
+	var b strings.Builder
+
+	st := s.RunSpeedup(SMTp, 2, []int{1})
+	b.Reset()
+	if err := st.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "speedup") || strings.Count(b.String(), "\n") != 7 {
+		t.Fatalf("speedup csv wrong:\n%s", b.String())
+	}
+
+	ot := s.RunOccupancy(2)
+	b.Reset()
+	if err := ot.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "\n") != 1+6*4 {
+		t.Fatalf("occupancy csv wrong:\n%s", b.String())
+	}
+
+	pc := s.RunProtoChar(2)
+	b.Reset()
+	if err := pc.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "br_mispred_pct") {
+		t.Fatal("protochar csv missing header")
+	}
+
+	rt := s.RunResource(2)
+	b.Reset()
+	if err := rt.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "lsq_peak") {
+		t.Fatal("resource csv missing header")
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Suite holds the common knobs for reproducing the paper's experiments.
+// Nodes counts and scale are parameters so tests can run shrunken versions
+// of the same experiment code that cmd/paperbench runs at paper sizes.
+type Suite struct {
+	CPUGHz float64
+	Scale  float64
+	Seed   uint64
+	// MaxCycles bounds each run; 0 = default.
+	MaxCycles uint64
+}
+
+func (s Suite) cfg(model Model, app App, nodes, way int) Config {
+	return Config{
+		Model:      model,
+		App:        app,
+		Nodes:      nodes,
+		AppThreads: way,
+		CPUGHz:     s.CPUGHz,
+		Scale:      s.Scale,
+		Seed:       s.Seed,
+	}
+}
+
+// FigureCell is one bar of a normalized-execution-time figure.
+type FigureCell struct {
+	App      App
+	Model    Model
+	NormTime float64 // execution time normalized to Base
+	MemStall float64 // memory-stall portion of NormTime
+	NonMem   float64
+	Result   *Result
+}
+
+// Figure reproduces one of Figures 2-11: per application, the execution
+// time of all five machine models normalized to Base, split into memory
+// stall and non-memory cycles.
+type Figure struct {
+	Title string
+	Nodes int
+	Way   int
+	GHz   float64
+	Cells []FigureCell
+}
+
+// RunFigure produces the normalized-execution-time comparison for a
+// machine size (the paper's Figures 2-11).
+func (s Suite) RunFigure(title string, nodes, way int) *Figure {
+	f := &Figure{Title: title, Nodes: nodes, Way: way, GHz: s.CPUGHz}
+	for _, app := range Apps() {
+		cfg := s.cfg(Base, app, nodes, way)
+		w := BuildWorkload(cfg)
+		var baseCycles float64
+		for _, model := range Models() {
+			c := cfg
+			c.Model = model
+			res := RunWorkload(c, w)
+			if model == Base {
+				baseCycles = float64(res.Cycles)
+			}
+			norm := float64(res.Cycles) / baseCycles
+			f.Cells = append(f.Cells, FigureCell{
+				App:      app,
+				Model:    model,
+				NormTime: norm,
+				MemStall: norm * res.MemStallFrac,
+				NonMem:   norm * res.NonMemFrac,
+				Result:   res,
+			})
+		}
+	}
+	return f
+}
+
+// Cell returns the figure cell for (app, model).
+func (f *Figure) Cell(app App, model Model) *FigureCell {
+	for i := range f.Cells {
+		if f.Cells[i].App == app && f.Cells[i].Model == model {
+			return &f.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Render formats the figure as the paper's bar values.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d nodes, %d-way, %.0f GHz)\n", f.Title, f.Nodes, f.Way, f.GHz)
+	fmt.Fprintf(&b, "%-11s", "App")
+	for _, m := range Models() {
+		fmt.Fprintf(&b, "%22s", m)
+	}
+	b.WriteString("\n")
+	for _, app := range Apps() {
+		fmt.Fprintf(&b, "%-11s", app)
+		for _, m := range Models() {
+			c := f.Cell(app, m)
+			fmt.Fprintf(&b, "  %5.3f (%4.2fm+%4.2fc)", c.NormTime, c.MemStall, c.NonMem)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SpeedupTable reproduces Tables 5 and 6: self-relative speedups of an
+// n-node machine at 1/2/4 application threads per node, relative to the
+// single-node 1-way execution of the same model and problem size.
+type SpeedupTable struct {
+	Model Model
+	Nodes int
+	Ways  []int
+	// Speedup[app][wayIdx]
+	Speedup map[App][]float64
+	// Incomplete lists runs that hit their cycle budget (their cells are
+	// untrustworthy); empty on a healthy sweep.
+	Incomplete []string
+}
+
+// RunSpeedup produces a speedup table.
+func (s Suite) RunSpeedup(model Model, nodes int, ways []int) *SpeedupTable {
+	t := &SpeedupTable{Model: model, Nodes: nodes, Ways: ways, Speedup: map[App][]float64{}}
+	maxWay := ways[len(ways)-1]
+	for _, app := range Apps() {
+		// Anchor the problem size to the largest configuration so every
+		// run solves the same problem.
+		sizeFor := nodes * maxWay
+		base := s.cfg(model, app, 1, 1)
+		base.SizeFor = sizeFor
+		baseRes := Run(base)
+		if !baseRes.Completed {
+			t.Incomplete = append(t.Incomplete, fmt.Sprintf("%v 1n1w", app))
+		}
+		for _, way := range ways {
+			c := s.cfg(model, app, nodes, way)
+			c.SizeFor = sizeFor
+			res := Run(c)
+			if !res.Completed {
+				t.Incomplete = append(t.Incomplete, fmt.Sprintf("%v %dn%dw", app, nodes, way))
+			}
+			sp := float64(baseRes.Cycles) / float64(res.Cycles)
+			t.Speedup[app] = append(t.Speedup[app], sp)
+		}
+	}
+	return t
+}
+
+// Render formats the table like the paper's Tables 5/6.
+func (t *SpeedupTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d-node speedup in %v\n%-11s", t.Nodes, t.Model, "App")
+	for _, w := range t.Ways {
+		fmt.Fprintf(&b, "%8d-way", w)
+	}
+	b.WriteString("\n")
+	for _, app := range Apps() {
+		fmt.Fprintf(&b, "%-11s", app)
+		for i := range t.Ways {
+			fmt.Fprintf(&b, "%12.2f", t.Speedup[app][i])
+		}
+		b.WriteString("\n")
+	}
+	for _, bad := range t.Incomplete {
+		fmt.Fprintf(&b, "WARNING: %s hit its cycle budget\n", bad)
+	}
+	return b.String()
+}
+
+// OccupancyTable reproduces Table 7: peak protocol occupancy as a
+// percentage of parallel execution time for Base, IntPerfect, Int512KB and
+// SMTp.
+type OccupancyTable struct {
+	Nodes int
+	// Occupancy[app][modelIdx] in percent, model order as in Models()
+	// filtered to the table's four models.
+	Models    []Model
+	Occupancy map[App][]float64
+}
+
+// RunOccupancy produces Table 7.
+func (s Suite) RunOccupancy(nodes int) *OccupancyTable {
+	t := &OccupancyTable{
+		Nodes:     nodes,
+		Models:    []Model{Base, IntPerfect, Int512KB, SMTp},
+		Occupancy: map[App][]float64{},
+	}
+	for _, app := range Apps() {
+		cfg := s.cfg(Base, app, nodes, 1)
+		w := BuildWorkload(cfg)
+		for _, model := range t.Models {
+			c := cfg
+			c.Model = model
+			res := RunWorkload(c, w)
+			t.Occupancy[app] = append(t.Occupancy[app], 100*res.ProtoOccupancyPeak)
+		}
+	}
+	return t
+}
+
+// Render formats Table 7.
+func (t *OccupancyTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d-node protocol occupancy (1-way nodes), %% of execution\n%-11s", t.Nodes, "App")
+	for _, m := range t.Models {
+		fmt.Fprintf(&b, "%12s", m)
+	}
+	b.WriteString("\n")
+	for _, app := range Apps() {
+		fmt.Fprintf(&b, "%-11s", app)
+		for i := range t.Models {
+			fmt.Fprintf(&b, "%11.1f%%", t.Occupancy[app][i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ProtoCharRow is one row of Table 8.
+type ProtoCharRow struct {
+	App           App
+	BrMispredRate float64 // percent
+	SquashPct     float64
+	RetiredInsPct float64
+}
+
+// ProtoCharTable reproduces Table 8: protocol thread characteristics on
+// SMTp.
+type ProtoCharTable struct {
+	Nodes int
+	Rows  []ProtoCharRow
+}
+
+// RunProtoChar produces Table 8.
+func (s Suite) RunProtoChar(nodes int) *ProtoCharTable {
+	t := &ProtoCharTable{Nodes: nodes}
+	for _, app := range Apps() {
+		res := Run(s.cfg(SMTp, app, nodes, 1))
+		t.Rows = append(t.Rows, ProtoCharRow{
+			App:           app,
+			BrMispredRate: 100 * res.ProtoBrMispredRate,
+			SquashPct:     res.ProtoSquashPct,
+			RetiredInsPct: res.ProtoRetiredPct,
+		})
+	}
+	return t
+}
+
+// Render formats Table 8.
+func (t *ProtoCharTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Protocol thread characteristics, %d nodes (1-way)\n", t.Nodes)
+	fmt.Fprintf(&b, "%-11s%16s%12s%16s\n", "App", "Br.Mis.Rate", "Squash %", "Retired Ins.")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-11s%15.2f%%%11.2f%%%9.2f%% of all\n",
+			r.App, r.BrMispredRate, r.SquashPct, r.RetiredInsPct)
+	}
+	return b.String()
+}
+
+// ResourceRow is one row of Table 9.
+type ResourceRow struct {
+	App                       App
+	BrStack, IntRegs, IQ, LSQ OccPair
+}
+
+// ResourceTable reproduces Table 9: active protocol-thread occupancy of the
+// branch stack, integer registers, integer queue and load/store queue.
+type ResourceTable struct {
+	Nodes int
+	Rows  []ResourceRow
+}
+
+// RunResource produces Table 9.
+func (s Suite) RunResource(nodes int) *ResourceTable {
+	t := &ResourceTable{Nodes: nodes}
+	for _, app := range Apps() {
+		res := Run(s.cfg(SMTp, app, nodes, 1))
+		t.Rows = append(t.Rows, ResourceRow{
+			App:     app,
+			BrStack: res.OccBrStack,
+			IntRegs: res.OccIntRegs,
+			IQ:      res.OccIQ,
+			LSQ:     res.OccLSQ,
+		})
+	}
+	return t
+}
+
+// Render formats Table 9 (peak, mean-of-peaks as in the paper).
+func (t *ResourceTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Active protocol thread occupancy, %d nodes (1-way)\n", t.Nodes)
+	fmt.Fprintf(&b, "%-11s%12s%12s%10s%10s\n", "App", "Br.Stack", "Int.Regs", "IQ", "LSQ")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-11s%12s%12s%10s%10s\n",
+			r.App, r.BrStack, r.IntRegs, r.IQ, r.LSQ)
+	}
+	return b.String()
+}

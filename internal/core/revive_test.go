@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"smtpsim/internal/coherence"
+)
+
+// TestReviveExtensionEndToEnd runs the ReVive logging protocol on a real
+// SMTp machine: the run must stay coherent, write log records, and cost
+// measurable extra time relative to the base protocol — the paper's §6
+// claim that protocol-thread extensions are a software change with
+// protocol-occupancy-sized overheads.
+func TestReviveExtensionEndToEnd(t *testing.T) {
+	cfg := Config{Model: SMTp, App: Radix, Nodes: 4, AppThreads: 1, Scale: 0.25, Seed: 13}
+	w := BuildWorkload(cfg)
+
+	base := RunWorkload(cfg, w)
+	if !base.Completed || base.CoherenceErr != nil {
+		t.Fatalf("base run failed: %v", base.CoherenceErr)
+	}
+
+	log := coherence.NewReviveLog()
+	ext := cfg
+	ext.Protocol = coherence.NewReviveTable(log)
+	rev := RunWorkload(ext, w)
+	if !rev.Completed {
+		t.Fatal("revive run did not complete")
+	}
+	if rev.CoherenceErr != nil {
+		t.Fatalf("revive run broke coherence: %v", rev.CoherenceErr)
+	}
+	if log.Entries == 0 {
+		t.Fatal("no log records written")
+	}
+	// At tiny scales timing noise can hide the cost; bound it loosely here
+	// (the revive example and BenchmarkExtensionRevive report the overhead
+	// at larger scale).
+	overhead := (float64(rev.Cycles) - float64(base.Cycles)) / float64(base.Cycles)
+	if overhead < -0.10 || overhead > 0.5 {
+		t.Fatalf("logging overhead %.1f%% implausible (base=%d revive=%d)",
+			100*overhead, base.Cycles, rev.Cycles)
+	}
+	if rev.RetiredProto <= base.RetiredProto {
+		t.Fatal("the extension must retire extra protocol instructions")
+	}
+}
+
+// TestReviveOnPPModels: the same protocol table runs on the embedded
+// protocol processor models — protocol programmability is not specific to
+// SMTp.
+func TestReviveOnPPModels(t *testing.T) {
+	log := coherence.NewReviveLog()
+	cfg := Config{
+		Model: Int512KB, App: Water, Nodes: 2, AppThreads: 1,
+		Scale: 0.25, Seed: 3, Protocol: coherence.NewReviveTable(log),
+	}
+	res := Run(cfg)
+	if !res.Completed || res.CoherenceErr != nil {
+		t.Fatalf("run failed: %v", res.CoherenceErr)
+	}
+	if log.Entries == 0 {
+		t.Fatal("PP model must also write log records")
+	}
+}

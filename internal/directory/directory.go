@@ -1,0 +1,173 @@
+// Package directory implements the directory of the Origin-derived bitvector
+// coherence protocol: per-128-byte-line entries holding the sharing state,
+// a sharer bitvector, the owner for dirty lines, and the pending requester
+// for busy (in-flight three-hop) transactions.
+//
+// Entries are 32 bits for machines of up to 16 nodes and 64 bits beyond
+// (paper §3), and live as real bytes in the home node's memory so that
+// protocol-thread loads and stores to them exercise the cache hierarchy.
+package directory
+
+import (
+	"fmt"
+
+	"smtpsim/internal/addrmap"
+)
+
+// State is a directory entry state.
+type State uint8
+
+// Directory states. Busy states mark lines with an outstanding three-hop
+// transaction (intervention forwarded to a dirty owner); requests arriving
+// for busy lines are NAKed and retried, as in the SGI Origin.
+const (
+	Unowned State = iota
+	Shared
+	Dirty
+	BusyShared // intervention outstanding for a read
+	BusyExcl   // intervention outstanding for a read-exclusive
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Unowned:
+		return "Unowned"
+	case Shared:
+		return "Shared"
+	case Dirty:
+		return "Dirty"
+	case BusyShared:
+		return "BusyShared"
+	case BusyExcl:
+		return "BusyExcl"
+	}
+	return "State?"
+}
+
+// Busy reports whether the state is one of the busy states.
+func (s State) Busy() bool { return s == BusyShared || s == BusyExcl }
+
+// Entry is a decoded directory entry.
+type Entry struct {
+	State   State
+	Sharers uint64         // bitvector of sharing nodes (Shared state)
+	Owner   addrmap.NodeID // dirty owner (Dirty/Busy* states)
+	Pending addrmap.NodeID // requester awaiting a busy transaction's completion
+}
+
+// Field widths. The 32-bit format packs 16 sharer bits + 3 state bits +
+// 5+5 node IDs (16 nodes need 4 bits; 5 keeps the two formats uniform).
+// The 64-bit format packs 32 sharer bits + 3 state + 6+6 node IDs.
+const (
+	sharers32Bits = 16
+	sharers64Bits = 32
+	stateBits     = 3
+	node32Bits    = 5
+	node64Bits    = 6
+)
+
+// Encode packs the entry into its stored representation for a machine of
+// the given node count.
+func (e Entry) Encode(nodes int) uint64 {
+	var sb, nb uint
+	if addrmap.DirEntrySize(nodes) == 4 {
+		sb, nb = sharers32Bits, node32Bits
+	} else {
+		sb, nb = sharers64Bits, node64Bits
+	}
+	if e.Sharers >= 1<<sb {
+		panic(fmt.Sprintf("directory: sharer vector %#x overflows %d bits", e.Sharers, sb))
+	}
+	v := e.Sharers
+	v |= uint64(e.State) << sb
+	v |= uint64(e.Owner) << (sb + stateBits)
+	v |= uint64(e.Pending) << (sb + stateBits + nb)
+	return v
+}
+
+// Decode unpacks a stored entry.
+func Decode(raw uint64, nodes int) Entry {
+	var sb, nb uint
+	if addrmap.DirEntrySize(nodes) == 4 {
+		sb, nb = sharers32Bits, node32Bits
+	} else {
+		sb, nb = sharers64Bits, node64Bits
+	}
+	return Entry{
+		Sharers: raw & (1<<sb - 1),
+		State:   State((raw >> sb) & (1<<stateBits - 1)),
+		Owner:   addrmap.NodeID((raw >> (sb + stateBits)) & (1<<nb - 1)),
+		Pending: addrmap.NodeID((raw >> (sb + stateBits + nb)) & (1<<nb - 1)),
+	}
+}
+
+// HasSharer reports whether node n is in the sharer vector.
+func (e Entry) HasSharer(n addrmap.NodeID) bool { return e.Sharers&(1<<uint(n)) != 0 }
+
+// WithSharer returns a copy with node n added to the sharer vector.
+func (e Entry) WithSharer(n addrmap.NodeID) Entry {
+	e.Sharers |= 1 << uint(n)
+	return e
+}
+
+// WithoutSharer returns a copy with node n removed.
+func (e Entry) WithoutSharer(n addrmap.NodeID) Entry {
+	e.Sharers &^= 1 << uint(n)
+	return e
+}
+
+// SharerCount returns the number of sharers.
+func (e Entry) SharerCount() int {
+	c := 0
+	for s := e.Sharers; s != 0; s &= s - 1 {
+		c++
+	}
+	return c
+}
+
+// ForEachSharer calls fn for every node in the sharer vector, ascending.
+func (e Entry) ForEachSharer(fn func(addrmap.NodeID)) {
+	for i := 0; i < 64; i++ {
+		if e.Sharers&(1<<uint(i)) != 0 {
+			fn(addrmap.NodeID(i))
+		}
+	}
+}
+
+// Directory provides typed access to the directory entries stored in one
+// home node's memory.
+type Directory struct {
+	mem   *addrmap.Memory
+	nodes int
+}
+
+// New wraps a home node's backing memory.
+func New(mem *addrmap.Memory, nodes int) *Directory {
+	return &Directory{mem: mem, nodes: nodes}
+}
+
+// EntryAddr returns the memory address of the entry covering addr.
+func (d *Directory) EntryAddr(addr uint64) uint64 {
+	return addrmap.DirAddrOf(addr, d.nodes)
+}
+
+// Load reads the entry covering the application address addr.
+func (d *Directory) Load(addr uint64) Entry {
+	ea := d.EntryAddr(addr)
+	if addrmap.DirEntrySize(d.nodes) == 4 {
+		return Decode(uint64(d.mem.Read32(ea)), d.nodes)
+	}
+	return Decode(d.mem.Read64(ea), d.nodes)
+}
+
+// Store writes the entry covering the application address addr.
+func (d *Directory) Store(addr uint64, e Entry) {
+	ea := d.EntryAddr(addr)
+	raw := e.Encode(d.nodes)
+	if addrmap.DirEntrySize(d.nodes) == 4 {
+		d.mem.Write32(ea, uint32(raw))
+		return
+	}
+	d.mem.Write64(ea, raw)
+}

@@ -1,0 +1,139 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smtpsim/internal/addrmap"
+)
+
+func TestEncodeDecodeRoundTrip16(t *testing.T) {
+	e := Entry{State: Shared, Sharers: 0xBEEF, Owner: 13, Pending: 7}
+	got := Decode(e.Encode(16), 16)
+	if got != e {
+		t.Fatalf("round trip: got %+v, want %+v", got, e)
+	}
+}
+
+func TestEncodeDecodeRoundTrip32(t *testing.T) {
+	e := Entry{State: BusyExcl, Sharers: 0xDEADBEEF, Owner: 31, Pending: 30}
+	got := Decode(e.Encode(32), 32)
+	if got != e {
+		t.Fatalf("round trip: got %+v, want %+v", got, e)
+	}
+}
+
+func TestEncodeRejectsOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("17-bit sharer vector must not fit a 16-node entry")
+		}
+	}()
+	Entry{Sharers: 1 << 16}.Encode(16)
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(state uint8, sharers uint16, owner, pending uint8) bool {
+		e := Entry{
+			State:   State(state % 5),
+			Sharers: uint64(sharers),
+			Owner:   addrmap.NodeID(owner % 16),
+			Pending: addrmap.NodeID(pending % 16),
+		}
+		return Decode(e.Encode(16), 16) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(state uint8, sharers uint32, owner, pending uint8) bool {
+		e := Entry{
+			State:   State(state % 5),
+			Sharers: uint64(sharers),
+			Owner:   addrmap.NodeID(owner % 32),
+			Pending: addrmap.NodeID(pending % 32),
+		}
+		return Decode(e.Encode(32), 32) == e
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharerOps(t *testing.T) {
+	var e Entry
+	e = e.WithSharer(3).WithSharer(15).WithSharer(3)
+	if !e.HasSharer(3) || !e.HasSharer(15) || e.HasSharer(4) {
+		t.Fatal("sharer membership wrong")
+	}
+	if e.SharerCount() != 2 {
+		t.Fatalf("count=%d, want 2", e.SharerCount())
+	}
+	e = e.WithoutSharer(3)
+	if e.HasSharer(3) || e.SharerCount() != 1 {
+		t.Fatal("removal failed")
+	}
+	var seen []addrmap.NodeID
+	e.WithSharer(0).ForEachSharer(func(n addrmap.NodeID) { seen = append(seen, n) })
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 15 {
+		t.Fatalf("ForEachSharer order wrong: %v", seen)
+	}
+}
+
+func TestStateHelpers(t *testing.T) {
+	if Unowned.Busy() || Shared.Busy() || Dirty.Busy() {
+		t.Fatal("stable states are not busy")
+	}
+	if !BusyShared.Busy() || !BusyExcl.Busy() {
+		t.Fatal("busy states must report Busy")
+	}
+	for _, s := range []State{Unowned, Shared, Dirty, BusyShared, BusyExcl} {
+		if s.String() == "State?" {
+			t.Fatal("state unnamed")
+		}
+	}
+}
+
+func TestDirectoryLoadStore(t *testing.T) {
+	mem := addrmap.NewMemory()
+	d := New(mem, 16)
+	addr := uint64(7 * addrmap.CoherenceLineSize)
+	if got := d.Load(addr); got != (Entry{}) {
+		t.Fatalf("cold entry should be zero, got %+v", got)
+	}
+	e := Entry{State: Dirty, Owner: 9}
+	d.Store(addr, e)
+	if got := d.Load(addr); got != e {
+		t.Fatalf("load after store: %+v, want %+v", got, e)
+	}
+	// Same line, different byte: same entry.
+	if got := d.Load(addr + 100); got != e {
+		t.Fatal("entry must cover the whole 128B line")
+	}
+	// Neighbouring line: independent entry.
+	if got := d.Load(addr + addrmap.CoherenceLineSize); got != (Entry{}) {
+		t.Fatal("neighbouring line's entry must be independent")
+	}
+}
+
+func TestDirectoryAdjacentEntriesIndependent64(t *testing.T) {
+	mem := addrmap.NewMemory()
+	d := New(mem, 32)
+	a0 := uint64(0)
+	a1 := uint64(addrmap.CoherenceLineSize)
+	d.Store(a0, Entry{State: Dirty, Owner: 31})
+	d.Store(a1, Entry{State: Shared, Sharers: 0xFFFFFFFF})
+	if d.Load(a0) != (Entry{State: Dirty, Owner: 31}) {
+		t.Fatal("entry 0 corrupted by neighbour store")
+	}
+	if d.Load(a1) != (Entry{State: Shared, Sharers: 0xFFFFFFFF}) {
+		t.Fatal("entry 1 wrong")
+	}
+}
+
+func TestEntryAddrInDirectoryRegion(t *testing.T) {
+	mem := addrmap.NewMemory()
+	d := New(mem, 16)
+	if !addrmap.IsDirectory(d.EntryAddr(0x12345)) {
+		t.Fatal("entry addresses must fall in the directory region")
+	}
+}

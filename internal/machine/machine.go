@@ -1,0 +1,275 @@
+// Package machine assembles full DSM configurations: N nodes (paper Table
+// 4's five machine models), the bristled-hypercube interconnect, a global
+// synchronization manager for the workloads' barriers and locks, the run
+// loop, and the end-of-run coherence invariant checker.
+package machine
+
+import (
+	"fmt"
+
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/cache"
+	"smtpsim/internal/coherence"
+	"smtpsim/internal/directory"
+	"smtpsim/internal/memctrl"
+	"smtpsim/internal/network"
+	"smtpsim/internal/node"
+	"smtpsim/internal/pipeline"
+	"smtpsim/internal/ppengine"
+	"smtpsim/internal/sim"
+)
+
+// Model is one of the paper's five machine models (Table 4).
+type Model int
+
+// Machine models.
+const (
+	Base       Model = iota // non-integrated PP/MC at 400 MHz, 512 KB dir cache
+	IntPerfect              // integrated PP/MC at CPU clock, perfect dir cache
+	Int512KB                // integrated PP/MC at CPU/2, 512 KB dir cache
+	Int64KB                 // integrated PP/MC at CPU/2, 64 KB dir cache
+	SMTp                    // integrated standard MC at CPU/2, protocol thread
+)
+
+var modelNames = []string{"Base", "IntPerfect", "Int512KB", "Int64KB", "SMTp"}
+
+// String names the model.
+func (m Model) String() string {
+	if int(m) < len(modelNames) {
+		return modelNames[m]
+	}
+	return "Model?"
+}
+
+// Models lists all five models in paper order.
+func Models() []Model { return []Model{Base, IntPerfect, Int512KB, Int64KB, SMTp} }
+
+// Config describes a machine to build.
+type Config struct {
+	Model      Model
+	Nodes      int
+	AppThreads int     // application threads per node (1, 2, 4)
+	CPUGHz     float64 // 2 or 4
+
+	// PipeTweak optionally adjusts the pipeline configuration (ablations:
+	// LAS off, cache sizes, ...).
+	PipeTweak func(*pipeline.Config)
+
+	// LocalQueueCap overrides the local miss interface depth (stress
+	// testing; 0 = the paper's 16).
+	LocalQueueCap int
+
+	// Protocol optionally replaces the coherence protocol on every node
+	// (extension tables such as coherence.NewReviveTable).
+	Protocol *coherence.Table
+}
+
+// Machine is a built system.
+type Machine struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Net   *network.Network
+	Nodes []*node.Node
+	Sync  *SyncManager
+	AMap  *addrmap.Map
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	if cfg.Nodes < 1 {
+		panic("machine: need at least one node")
+	}
+	if cfg.CPUGHz == 0 {
+		cfg.CPUGHz = 2
+	}
+	if cfg.AppThreads == 0 {
+		cfg.AppThreads = 1
+	}
+	m := &Machine{
+		Cfg:  cfg,
+		Eng:  sim.NewEngine(),
+		Sync: NewSyncManager(),
+		AMap: addrmap.NewMap(cfg.Nodes),
+	}
+	m.Net = network.New(network.Config{
+		Nodes:       cfg.Nodes,
+		HopCycles:   sim.Cycle(25 * cfg.CPUGHz),
+		BytesPerCyc: 1.0 / cfg.CPUGHz,
+		LocalLoop:   4,
+	}, m.Eng, func(msg *network.Message) {
+		m.Nodes[msg.Dst].OnNetMessage(msg)
+	})
+
+	smtp := cfg.Model == SMTp
+	mcDiv := sim.Cycle(2)
+	if cfg.Model == IntPerfect {
+		mcDiv = 1
+	}
+	if cfg.Model == Base {
+		mcDiv = sim.Cycle(cfg.CPUGHz * 1000 / 400) // 400 MHz controller
+	}
+	lmi := cfg.LocalQueueCap
+	if lmi == 0 {
+		lmi = 16
+	}
+	mcCfg := memctrl.Config{
+		ClockDiv:       mcDiv,
+		SDRAMAccessCyc: sim.Cycle(80 * cfg.CPUGHz),
+		SDRAMXferCyc:   sim.Cycle(40 * cfg.CPUGHz),
+		LocalQueueCap:  lmi,
+	}
+	if cfg.Model == Base {
+		mcCfg.PIExtraCycles = sim.Cycle(20 * cfg.CPUGHz)
+	}
+
+	var ppCfg *ppengine.Config
+	if !smtp {
+		dirBytes := 512 * 1024
+		switch cfg.Model {
+		case IntPerfect:
+			dirBytes = 0
+		case Int64KB:
+			dirBytes = 64 * 1024
+		}
+		// A directory-cache miss costs an SDRAM access measured in PP
+		// (= memory controller) cycles.
+		penalty := int(80 * cfg.CPUGHz / float64(mcDiv))
+		c := ppengine.DefaultConfig(dirBytes, penalty)
+		ppCfg = &c
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		pipeCfg := pipeline.DefaultConfig(cfg.AppThreads, smtp)
+		if cfg.PipeTweak != nil {
+			cfg.PipeTweak(&pipeCfg)
+		}
+		m.Nodes = append(m.Nodes, node.New(node.Config{
+			ID:         addrmap.NodeID(i),
+			Nodes:      cfg.Nodes,
+			AddrMap:    m.AMap,
+			Engine:     m.Eng,
+			Net:        m.Net,
+			Sync:       m.Sync,
+			PipeCfg:    pipeCfg,
+			MCCfg:      mcCfg,
+			PPCfg:      ppCfg,
+			MCClockDiv: mcDiv,
+			Protocol:   cfg.Protocol,
+		}))
+	}
+	return m
+}
+
+// GlobalThreads returns the total application thread count.
+func (m *Machine) GlobalThreads() int { return m.Cfg.Nodes * m.Cfg.AppThreads }
+
+// SetSource installs the instruction source for a global thread ID.
+func (m *Machine) SetSource(gtid int, src pipeline.InstrSource) {
+	n := gtid / m.Cfg.AppThreads
+	m.Nodes[n].Pipe.SetSource(gtid%m.Cfg.AppThreads, src)
+}
+
+// Done reports whether every application thread has drained and the memory
+// system has quiesced.
+func (m *Machine) Done() bool {
+	for _, n := range m.Nodes {
+		if !n.Pipe.AppDone() {
+			return false
+		}
+		if n.MC.QueuedMessages() != 0 {
+			return false
+		}
+		if n.ParkedInterventions() != 0 {
+			return false
+		}
+		if n.PP != nil && n.PP.Engine.Busy() {
+			return false
+		}
+		if !n.Pipe.ProtoQuiesced() {
+			return false
+		}
+	}
+	return m.Net.InFlight() == 0 && m.Eng.PendingEvents() == 0
+}
+
+// Run steps the machine until completion or maxCycles, returning the cycle
+// count and whether it completed.
+func (m *Machine) Run(maxCycles sim.Cycle) (sim.Cycle, bool) {
+	start := m.Eng.Now()
+	for m.Eng.Now()-start < maxCycles {
+		// Check termination periodically (it walks all queues).
+		for i := 0; i < 256 && m.Eng.Now()-start < maxCycles; i++ {
+			m.Eng.Step()
+		}
+		if m.Done() {
+			return m.Eng.Now() - start, true
+		}
+	}
+	return m.Eng.Now() - start, m.Done()
+}
+
+// CheckCoherence validates the machine-wide coherence invariants after a
+// quiesced run; it returns a descriptive error for the first violation.
+//
+// Invariants: at most one writable (E/M) copy of any application line in
+// the system; if a writable copy exists the home directory is Dirty with
+// that node as owner; every cached copy's node is in the home's sharer
+// vector (stale sharers are allowed — silent drops); no busy directory
+// states; per-node L1 contents are included in the L2; no leaked MSHRs.
+func (m *Machine) CheckCoherence() error {
+	type copyInfo struct {
+		node  addrmap.NodeID
+		state cache.State
+	}
+	copies := map[uint64][]copyInfo{}
+	for _, n := range m.Nodes {
+		nid := n.ID
+		n.Pipe.L2Lines(func(tag uint64, st cache.State) {
+			if addrmap.IsAppData(tag) {
+				copies[tag] = append(copies[tag], copyInfo{nid, st})
+			}
+		})
+		if err := n.Pipe.CheckInclusion(); err != nil {
+			return fmt.Errorf("node %d: %w", nid, err)
+		}
+		if err := n.Pipe.CheckNoLeaks(); err != nil {
+			return fmt.Errorf("node %d: %w", nid, err)
+		}
+	}
+	for line, cs := range copies {
+		home := m.AMap.HomeOf(line)
+		e := m.Nodes[home].Dir.Load(line)
+		if e.State.Busy() {
+			return fmt.Errorf("line %#x: home %d busy (%v) after quiesce", line, home, e.State)
+		}
+		writers := 0
+		for _, c := range cs {
+			if c.state.Writable() {
+				writers++
+				if e.State != directory.Dirty || e.Owner != c.node {
+					return fmt.Errorf("line %#x: node %d holds %v but home says %v owner %d",
+						line, c.node, c.state, e.State, e.Owner)
+				}
+			} else if c.state == cache.Shared {
+				switch e.State {
+				case directory.Shared:
+					if !e.HasSharer(c.node) {
+						return fmt.Errorf("line %#x: node %d caches S but is not a sharer (%+v)",
+							line, c.node, e)
+					}
+				case directory.Dirty:
+					return fmt.Errorf("line %#x: node %d caches S but home says Dirty(%d)",
+						line, c.node, e.Owner)
+				case directory.Unowned:
+					return fmt.Errorf("line %#x: node %d caches S but home says Unowned", line, c.node)
+				}
+			}
+		}
+		if writers > 1 {
+			return fmt.Errorf("line %#x: %d writable copies", line, writers)
+		}
+	}
+	// Every Dirty directory entry's owner either caches the line writable
+	// or silently dropped a clean-exclusive copy (allowed).
+	return nil
+}

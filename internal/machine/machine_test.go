@@ -1,0 +1,308 @@
+package machine
+
+import (
+	"testing"
+
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/isa"
+	"smtpsim/internal/sim"
+)
+
+// sliceSource is a fixed-stream instruction source for integration tests.
+type sliceSource struct {
+	ins []isa.Instr
+	pos int
+}
+
+func (s *sliceSource) Peek() *isa.Instr {
+	if s.pos >= len(s.ins) {
+		return nil
+	}
+	return &s.ins[s.pos]
+}
+func (s *sliceSource) Advance()   { s.pos++ }
+func (s *sliceSource) Done() bool { return s.pos >= len(s.ins) }
+
+func seqPCs(base uint64, ins []isa.Instr) []isa.Instr {
+	for i := range ins {
+		ins[i].PC = base + uint64(i)*4
+	}
+	return ins
+}
+
+// --- SyncManager unit tests --------------------------------------------
+
+func TestBarrierReleasesWhenAllArrive(t *testing.T) {
+	s := NewSyncManager()
+	s.DefineBarrier(1, 3)
+	tok := BarrierToken(1, 0)
+	if s.Poll(0, tok) || s.Poll(1, tok) {
+		t.Fatal("barrier must hold until all arrive")
+	}
+	if !s.Poll(2, tok) {
+		t.Fatal("last arrival must release")
+	}
+	// Level-triggered: earlier threads now pass.
+	if !s.Poll(0, tok) || !s.Poll(1, tok) {
+		t.Fatal("released barrier must stay open")
+	}
+	// A new instance is independent.
+	if s.Poll(0, BarrierToken(1, 1)) {
+		t.Fatal("new barrier instance must hold")
+	}
+}
+
+func TestBarrierUndefinedPanics(t *testing.T) {
+	s := NewSyncManager()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undefined barrier must panic")
+		}
+	}()
+	s.Poll(0, BarrierToken(9, 0))
+}
+
+func TestLockFIFO(t *testing.T) {
+	s := NewSyncManager()
+	a0 := LockAcqToken(5, 0)
+	if !s.Poll(0, a0) {
+		t.Fatal("free lock must grant immediately")
+	}
+	if s.Poll(1, LockAcqToken(5, 1)) || s.Poll(2, LockAcqToken(5, 2)) {
+		t.Fatal("held lock must queue")
+	}
+	// Holder releases; thread 1 (first queued) gets it.
+	if !s.Poll(0, LockRelToken(5, 0)) {
+		t.Fatal("release must succeed")
+	}
+	if s.Poll(2, LockAcqToken(5, 2)) {
+		t.Fatal("FIFO order violated: thread 2 granted before thread 1")
+	}
+	if !s.Poll(1, LockAcqToken(5, 1)) {
+		t.Fatal("thread 1 must hold the lock now")
+	}
+	s.Poll(1, LockRelToken(5, 1))
+	if !s.Poll(2, LockAcqToken(5, 2)) {
+		t.Fatal("thread 2 must get the lock last")
+	}
+}
+
+func TestLockReleaseIdempotent(t *testing.T) {
+	s := NewSyncManager()
+	s.Poll(0, LockAcqToken(1, 0))
+	if !s.Poll(0, LockRelToken(1, 0)) || !s.Poll(0, LockRelToken(1, 0)) {
+		t.Fatal("re-polled release must stay true")
+	}
+	if !s.Poll(1, LockAcqToken(1, 1)) {
+		t.Fatal("lock must be free after release")
+	}
+}
+
+// --- machine integration -----------------------------------------------
+
+// privateStream touches `lines` distinct lines homed mostly at this node.
+func privateStream(gtid int, lines int) []isa.Instr {
+	var ins []isa.Instr
+	base := uint64(gtid) * 1 << 24 // distinct pages per thread
+	for i := 0; i < lines; i++ {
+		a := base + uint64(i)*128
+		ins = append(ins,
+			isa.Instr{Op: isa.OpLoad, Dst: 1, Addr: a, Size: 8},
+			isa.Instr{Op: isa.OpIntALU, Dst: 2, Src1: 1},
+			isa.Instr{Op: isa.OpStore, Src1: 2, Addr: a, Size: 8},
+		)
+	}
+	return seqPCs(addrmap.AppCodeBase+uint64(gtid)*0x100000, ins)
+}
+
+func runAll(t *testing.T, m *Machine, maxCycles sim.Cycle) sim.Cycle {
+	t.Helper()
+	cycles, done := m.Run(maxCycles)
+	if !done {
+		t.Fatalf("machine did not complete in %d cycles", maxCycles)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatalf("coherence violated: %v", err)
+	}
+	return cycles
+}
+
+func TestSingleNodeAllModels(t *testing.T) {
+	for _, model := range Models() {
+		m := New(Config{Model: model, Nodes: 1, AppThreads: 1})
+		m.SetSource(0, &sliceSource{ins: privateStream(0, 40)})
+		cycles := runAll(t, m, 2_000_000)
+		if got := m.Nodes[0].Pipe.Retired[0]; got != 120 {
+			t.Fatalf("%v: retired %d, want 120", model, got)
+		}
+		if cycles == 0 {
+			t.Fatalf("%v: zero cycles", model)
+		}
+		if m.Nodes[0].MC.Dispatched == 0 {
+			t.Fatalf("%v: no handlers dispatched", model)
+		}
+	}
+}
+
+func TestFourNodesSharingAllModels(t *testing.T) {
+	for _, model := range Models() {
+		m := New(Config{Model: model, Nodes: 4, AppThreads: 1})
+		m.Sync.DefineBarrier(0, 4)
+		shared := uint64(0) // page homed at node 0
+		for g := 0; g < 4; g++ {
+			var ins []isa.Instr
+			// Phase 1: write my own slice of the shared page region.
+			for i := 0; i < 8; i++ {
+				a := shared + uint64(g)*1024 + uint64(i)*128
+				ins = append(ins, isa.Instr{Op: isa.OpStore, Src1: 1, Addr: a, Size: 8})
+			}
+			ins = append(ins, isa.Instr{Op: isa.OpSyncWait, SyncTok: BarrierToken(0, 0)})
+			// Phase 2: read my neighbour's slice (remote coherence traffic).
+			nb := (g + 1) % 4
+			for i := 0; i < 8; i++ {
+				a := shared + uint64(nb)*1024 + uint64(i)*128
+				ins = append(ins, isa.Instr{Op: isa.OpLoad, Dst: 1, Addr: a, Size: 8})
+			}
+			m.SetSource(g, &sliceSource{ins: seqPCs(addrmap.AppCodeBase+uint64(g)*0x100000, ins)})
+		}
+		runAll(t, m, 5_000_000)
+		for g := 0; g < 4; g++ {
+			if got := m.Nodes[g].Pipe.Retired[0]; got != 17 {
+				t.Fatalf("%v: thread %d retired %d, want 17", model, g, got)
+			}
+		}
+	}
+}
+
+func TestMigratoryLineStress(t *testing.T) {
+	// Every thread read-modify-writes the same line repeatedly: a NAK and
+	// intervention torture test.
+	for _, model := range []Model{Int512KB, SMTp} {
+		m := New(Config{Model: model, Nodes: 4, AppThreads: 1})
+		hot := uint64(2 * addrmap.PageSize) // homed at node 2
+		for g := 0; g < 4; g++ {
+			var ins []isa.Instr
+			for i := 0; i < 12; i++ {
+				ins = append(ins,
+					isa.Instr{Op: isa.OpLoad, Dst: 1, Addr: hot, Size: 8},
+					isa.Instr{Op: isa.OpStore, Src1: 1, Addr: hot, Size: 8},
+				)
+			}
+			m.SetSource(g, &sliceSource{ins: seqPCs(addrmap.AppCodeBase+uint64(g)*0x100000, ins)})
+		}
+		runAll(t, m, 10_000_000)
+		// Exactly one node may own the line at the end.
+		owners := 0
+		for _, n := range m.Nodes {
+			if n.Pipe.CacheProbe(hot).Writable() {
+				owners++
+			}
+		}
+		if owners > 1 {
+			t.Fatalf("%v: %d writable copies of the hot line", model, owners)
+		}
+	}
+}
+
+func TestLocksSerializeCriticalSections(t *testing.T) {
+	m := New(Config{Model: SMTp, Nodes: 2, AppThreads: 2})
+	lockLine := uint64(addrmap.PageSize) // homed at node 1
+	counter := uint64(0)                 // homed at node 0
+	for g := 0; g < 4; g++ {
+		var ins []isa.Instr
+		for it := uint64(0); it < 3; it++ {
+			inst := uint64(g)*100 + it
+			ins = append(ins,
+				// test-lock-test-set-unlock: real traffic on the lock line.
+				isa.Instr{Op: isa.OpLoad, Dst: 1, Addr: lockLine, Size: 8},
+				isa.Instr{Op: isa.OpSyncWait, SyncTok: LockAcqToken(3, inst)},
+				isa.Instr{Op: isa.OpStore, Src1: 1, Addr: lockLine, Size: 8},
+				// Critical section: bump the shared counter.
+				isa.Instr{Op: isa.OpLoad, Dst: 2, Addr: counter, Size: 8},
+				isa.Instr{Op: isa.OpIntALU, Dst: 3, Src1: 2},
+				isa.Instr{Op: isa.OpStore, Src1: 3, Addr: counter, Size: 8},
+				// Unlock.
+				isa.Instr{Op: isa.OpStore, Src1: 1, Addr: lockLine, Size: 8},
+				isa.Instr{Op: isa.OpSyncWait, SyncTok: LockRelToken(3, inst)},
+			)
+		}
+		m.SetSource(g, &sliceSource{ins: seqPCs(addrmap.AppCodeBase+uint64(g)*0x100000, ins)})
+	}
+	runAll(t, m, 10_000_000)
+	for g := 0; g < 4; g++ {
+		n := m.Nodes[g/2]
+		if got := n.Pipe.Retired[g%2]; got != 24 {
+			t.Fatalf("thread %d retired %d, want 24", g, got)
+		}
+	}
+}
+
+func TestSMTpUsesNoPPAndDispatchesOnPipeline(t *testing.T) {
+	m := New(Config{Model: SMTp, Nodes: 2, AppThreads: 1})
+	for g := 0; g < 2; g++ {
+		m.SetSource(g, &sliceSource{ins: privateStream(g, 20)})
+	}
+	runAll(t, m, 5_000_000)
+	for _, n := range m.Nodes {
+		if n.PP != nil {
+			t.Fatal("SMTp node must not have an embedded protocol processor")
+		}
+		dispatched, _, _ := n.Pipe.ProtoStats()
+		if dispatched == 0 {
+			t.Fatal("protocol thread must have run handlers")
+		}
+		if n.Pipe.Retired[n.Pipe.ProtoTID()] == 0 {
+			t.Fatal("protocol instructions must retire on the main pipeline")
+		}
+	}
+}
+
+func TestBaseSlowerThanIntegrated(t *testing.T) {
+	run := func(model Model) sim.Cycle {
+		m := New(Config{Model: model, Nodes: 2, AppThreads: 1})
+		for g := 0; g < 2; g++ {
+			// Remote-heavy: read the other node's pages.
+			var ins []isa.Instr
+			base := uint64((g+1)%2) * addrmap.PageSize
+			for i := 0; i < 32; i++ {
+				ins = append(ins, isa.Instr{Op: isa.OpLoad, Dst: 1, Addr: base + uint64(i)*128, Size: 8})
+			}
+			m.SetSource(g, &sliceSource{ins: seqPCs(addrmap.AppCodeBase+uint64(g)*0x100000, ins)})
+		}
+		return runAll(t, m, 5_000_000)
+	}
+	base := run(Base)
+	integ := run(Int512KB)
+	if base <= integ {
+		t.Fatalf("Base (%d) must be slower than Int512KB (%d) on remote misses", base, integ)
+	}
+}
+
+func TestClockScalingChangesLatencies(t *testing.T) {
+	m2 := New(Config{Model: SMTp, Nodes: 1, AppThreads: 1, CPUGHz: 2})
+	m4 := New(Config{Model: SMTp, Nodes: 1, AppThreads: 1, CPUGHz: 4})
+	m2.SetSource(0, &sliceSource{ins: privateStream(0, 30)})
+	m4.SetSource(0, &sliceSource{ins: privateStream(0, 30)})
+	c2 := runAll(t, m2, 2_000_000)
+	c4 := runAll(t, m4, 2_000_000)
+	// The same memory-bound work takes more cycles at 4 GHz (the
+	// processor-memory gap widens).
+	if c4 <= c2 {
+		t.Fatalf("4GHz run (%d cycles) should take more cycles than 2GHz (%d)", c4, c2)
+	}
+}
+
+func TestHotHomeContention(t *testing.T) {
+	// All eight threads read distinct lines homed at node 0: home handler
+	// occupancy and SDRAM contention must not deadlock anything.
+	m := New(Config{Model: SMTp, Nodes: 4, AppThreads: 2})
+	for g := 0; g < 8; g++ {
+		var ins []isa.Instr
+		for i := 0; i < 16; i++ {
+			a := uint64(g*16+i) * 128 // page 0 and onward: homed round-robin from 0
+			ins = append(ins, isa.Instr{Op: isa.OpLoad, Dst: 1, Addr: a, Size: 8})
+		}
+		m.SetSource(g, &sliceSource{ins: seqPCs(addrmap.AppCodeBase+uint64(g)*0x100000, ins)})
+	}
+	runAll(t, m, 10_000_000)
+}

@@ -1,0 +1,32 @@
+package machine
+
+import (
+	"testing"
+
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/isa"
+)
+
+// TestHotHomeAllModels pins the AGU/MSHR starvation deadlock once hit when
+// eight threads flood their homes with more misses than there are MSHRs:
+// memory ops blocked on structural resources must not starve the protocol
+// thread's accesses.
+func TestHotHomeAllModels(t *testing.T) {
+	for _, model := range Models() {
+		m := New(Config{Model: model, Nodes: 4, AppThreads: 2})
+		for g := 0; g < 8; g++ {
+			var ins []isa.Instr
+			for i := 0; i < 16; i++ {
+				a := uint64(g*16+i) * 128
+				ins = append(ins, isa.Instr{Op: isa.OpLoad, Dst: 1, Addr: a, Size: 8})
+			}
+			m.SetSource(g, &sliceSource{ins: seqPCs(addrmap.AppCodeBase+uint64(g)*0x100000, ins)})
+		}
+		if _, done := m.Run(2_000_000); !done {
+			t.Fatalf("%v deadlocked under hot-home load", model)
+		}
+		if err := m.CheckCoherence(); err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"testing"
+
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/isa"
+	"smtpsim/internal/pipeline"
+)
+
+// Failure injection: shrink every contended resource far below the paper's
+// configuration and verify the reservation/bypass machinery still
+// guarantees forward progress (DESIGN.md §7). Each case runs a workload
+// that hammers shared lines across nodes.
+
+func hammerStreams(m *Machine, threads int) {
+	for g := 0; g < threads; g++ {
+		var ins []isa.Instr
+		for i := 0; i < 24; i++ {
+			// Alternate between a hot migratory line and per-thread lines,
+			// with scattered remote stores.
+			hot := uint64(addrmap.PageSize) // homed at node 1
+			own := uint64(g)<<22 | uint64(i%4)*128
+			remote := uint64((g+1)%threads)<<22 | uint64(i%8)*128
+			ins = append(ins,
+				isa.Instr{Op: isa.OpLoad, Dst: 1, Addr: hot, Size: 8},
+				isa.Instr{Op: isa.OpStore, Src1: 1, Addr: hot, Size: 8},
+				isa.Instr{Op: isa.OpLoad, Dst: 2, Addr: own, Size: 8},
+				isa.Instr{Op: isa.OpStore, Src1: 2, Addr: remote, Size: 8},
+			)
+		}
+		m.SetSource(g, &sliceSource{ins: seqPCs(addrmap.AppCodeBase+uint64(g)*0x100000, ins)})
+	}
+}
+
+func TestTinyResourcesStillComplete(t *testing.T) {
+	cases := []struct {
+		name  string
+		tweak func(*pipeline.Config)
+		lmi   int
+	}{
+		{"tiny-mshr", func(pc *pipeline.Config) { pc.MSHRs = 3 }, 0},
+		{"tiny-lsq", func(pc *pipeline.Config) { pc.LSQ = 8 }, 0},
+		{"tiny-storebuf", func(pc *pipeline.Config) { pc.StoreBuffer = 3 }, 0},
+		{"tiny-frontend", func(pc *pipeline.Config) { pc.DecodeQ, pc.RenameQ = 3, 3 }, 0},
+		{"tiny-intq", func(pc *pipeline.Config) { pc.IntQ = 6 }, 0},
+		{"tiny-branchstack", func(pc *pipeline.Config) { pc.BranchStack = 3 }, 0},
+		{"tiny-lmi", nil, 2},
+		{"tiny-everything", func(pc *pipeline.Config) {
+			pc.MSHRs, pc.LSQ, pc.StoreBuffer = 3, 8, 3
+			pc.DecodeQ, pc.RenameQ, pc.IntQ = 3, 3, 6
+			pc.BranchStack = 3
+		}, 2},
+	}
+	for _, tc := range cases {
+		for _, model := range []Model{Int512KB, SMTp} {
+			m := New(Config{
+				Model: model, Nodes: 4, AppThreads: 1,
+				PipeTweak: tc.tweak, LocalQueueCap: tc.lmi,
+			})
+			hammerStreams(m, 4)
+			if _, done := m.Run(20_000_000); !done {
+				t.Fatalf("%s on %v: no forward progress", tc.name, model)
+			}
+			if err := m.CheckCoherence(); err != nil {
+				t.Fatalf("%s on %v: %v", tc.name, model, err)
+			}
+		}
+	}
+}
+
+func TestTinyCachesStillComplete(t *testing.T) {
+	// Pathologically small caches force constant evictions, writebacks and
+	// bypass-buffer traffic.
+	tweak := func(pc *pipeline.Config) {
+		pc.L1I.Size = 4 * 1024
+		pc.L1D.Size = 2 * 1024
+		pc.L2.Size = 16 * 1024
+		pc.BypassLines = 4
+	}
+	for _, model := range []Model{Base, SMTp} {
+		m := New(Config{Model: model, Nodes: 4, AppThreads: 2, PipeTweak: tweak})
+		hammerStreams(m, 8)
+		if _, done := m.Run(30_000_000); !done {
+			t.Fatalf("%v with tiny caches: no forward progress", model)
+		}
+		if err := m.CheckCoherence(); err != nil {
+			t.Fatalf("%v with tiny caches: %v", model, err)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package memctrl models the per-node memory controller of Figure 1: the
+// local miss interface, the network interface queues, the SDRAM, and the
+// handler dispatch unit that accepts protocol messages, initiates the
+// overlapped memory access for data replies, runs the coherence handler
+// semantics to obtain the executed-path trace, and hands the trace to the
+// protocol execution backend — either the embedded dual-issue protocol
+// processor (Base/Int* models) or the SMTp protocol thread on the main
+// pipeline.
+package memctrl
+
+import (
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/cache"
+	"smtpsim/internal/coherence"
+	"smtpsim/internal/isa"
+	"smtpsim/internal/network"
+	"smtpsim/internal/sim"
+)
+
+// Backend executes protocol handler traces. The SMTp pipeline and the
+// embedded protocol processor both implement it.
+type Backend interface {
+	// CanAccept reports whether a new handler may be dispatched now.
+	CanAccept() bool
+	// Start begins executing a handler trace. Must only be called when
+	// CanAccept is true.
+	Start(trace []isa.Instr)
+}
+
+// NodeIface is how the controller delivers transaction completions back to
+// the node's cache/miss machinery.
+type NodeIface interface {
+	DeliverRefill(line uint64, st cache.State, acks int, upgrade bool)
+	DeliverNak(line uint64)
+	DeliverIAck(line uint64)
+	DeliverWBAck(line uint64)
+}
+
+// Config holds the controller's timing parameters, all in CPU cycles.
+type Config struct {
+	// ClockDiv is the MC clock divider: the controller dispatches on every
+	// ClockDiv-th CPU cycle (2 = half processor speed, 5 = 400 MHz at 2 GHz).
+	ClockDiv sim.Cycle
+	// SDRAMAccessCyc is the SDRAM access time (80 ns).
+	SDRAMAccessCyc sim.Cycle
+	// SDRAMXferCyc is the line transfer time at SDRAM bandwidth
+	// (128 B at 3.2 GB/s = 40 ns).
+	SDRAMXferCyc sim.Cycle
+	// LocalQueueCap bounds the local miss interface queue (16).
+	LocalQueueCap int
+	// PIExtraCycles models the processor<->controller bus crossing of a
+	// non-integrated controller (Base); zero for integrated controllers.
+	PIExtraCycles sim.Cycle
+	// ProtoBusXferCyc is the SMTp protocol-miss bus transfer time (the
+	// separate 64-bit bus of §2.1).
+	ProtoBusXferCyc sim.Cycle
+}
+
+// MC is one node's memory controller.
+type MC struct {
+	cfg  Config
+	eng  *sim.Engine
+	env  coherence.Env
+	node NodeIface
+	net  *network.Network
+	back Backend
+
+	table      *coherence.Table
+	local      []*network.Message
+	in         [network.NumVCs][]*network.Message
+	localFirst bool
+
+	sdramBusy sim.Cycle
+	memReads  map[uint64]sim.Cycle // line -> SDRAM data ready time
+
+	protoBusy sim.Cycle // separate protocol-miss bus (SMTp)
+
+	// Statistics.
+	Dispatched     uint64
+	LocalFull      uint64
+	MemReadsIssued uint64
+	MemWrites      uint64
+	ProtoMisses    uint64
+}
+
+// New builds a controller. The backend must be set with SetBackend before
+// the first dispatch.
+func New(cfg Config, eng *sim.Engine, env coherence.Env, node NodeIface, net *network.Network) *MC {
+	if cfg.ClockDiv == 0 {
+		cfg.ClockDiv = 2
+	}
+	if cfg.LocalQueueCap == 0 {
+		cfg.LocalQueueCap = 16
+	}
+	return &MC{
+		cfg:      cfg,
+		eng:      eng,
+		env:      env,
+		node:     node,
+		net:      net,
+		table:    coherence.DefaultTable(),
+		memReads: make(map[uint64]sim.Cycle),
+	}
+}
+
+// SetTable installs an alternative protocol table (extensions, §6).
+func (mc *MC) SetTable(t *coherence.Table) { mc.table = t }
+
+// SetBackend installs the protocol execution backend.
+func (mc *MC) SetBackend(b Backend) { mc.back = b }
+
+// Cfg returns the configuration.
+func (mc *MC) Cfg() Config { return mc.cfg }
+
+// EnqueueLocal queues a processor-interface request (an L2 miss or
+// writeback) into the local miss interface. Returns false when the queue is
+// full — the caller must retry.
+func (mc *MC) EnqueueLocal(m *network.Message) bool {
+	if len(mc.local) >= mc.cfg.LocalQueueCap {
+		mc.LocalFull++
+		return false
+	}
+	if mc.cfg.PIExtraCycles > 0 {
+		// Non-integrated controller: the request crosses the system bus.
+		mc.eng.After(mc.cfg.PIExtraCycles, func() { mc.localDeferred(m) })
+		mc.local = append(mc.local, nil) // hold the slot while in transit
+		return true
+	}
+	mc.local = append(mc.local, m)
+	return true
+}
+
+func (mc *MC) localDeferred(m *network.Message) {
+	for i := range mc.local {
+		if mc.local[i] == nil {
+			mc.local[i] = m
+			return
+		}
+	}
+	mc.local = append(mc.local, m)
+}
+
+// EnqueueNet queues an arriving network message into its virtual network's
+// input queue.
+func (mc *MC) EnqueueNet(m *network.Message) {
+	mc.in[m.VC] = append(mc.in[m.VC], m)
+}
+
+// QueuedMessages reports the total queued (drain checking).
+func (mc *MC) QueuedMessages() int {
+	n := 0
+	for i := range mc.local {
+		if mc.local[i] != nil {
+			n++
+		}
+	}
+	for _, q := range mc.in {
+		n += len(q)
+	}
+	return n
+}
+
+// sdramRead starts (or merges into) a read of line, returning the cycle the
+// data will be available.
+func (mc *MC) sdramRead(line uint64) sim.Cycle {
+	if ready, ok := mc.memReads[line]; ok && ready > mc.eng.Now() {
+		return ready
+	}
+	now := mc.eng.Now()
+	start := now
+	if mc.sdramBusy > start {
+		start = mc.sdramBusy
+	}
+	ready := start + mc.cfg.SDRAMAccessCyc
+	mc.sdramBusy = start + mc.cfg.SDRAMXferCyc
+	mc.memReads[line] = ready
+	mc.MemReadsIssued++
+	return ready
+}
+
+// sdramWrite charges a line write's bandwidth.
+func (mc *MC) sdramWrite() {
+	now := mc.eng.Now()
+	if mc.sdramBusy < now {
+		mc.sdramBusy = now
+	}
+	mc.sdramBusy += mc.cfg.SDRAMXferCyc
+	mc.MemWrites++
+}
+
+// ProtocolMiss services an SMTp protocol-thread L2 miss over the separate
+// protocol bus, bypassing the local miss interface (§2.1). cb runs when the
+// line arrives.
+func (mc *MC) ProtocolMiss(line uint64, cb func()) {
+	now := mc.eng.Now()
+	start := now
+	if mc.protoBusy > start {
+		start = mc.protoBusy
+	}
+	ready := start + mc.cfg.SDRAMAccessCyc
+	xfer := mc.cfg.ProtoBusXferCyc
+	if xfer == 0 {
+		xfer = mc.cfg.SDRAMXferCyc
+	}
+	mc.protoBusy = start + xfer
+	mc.ProtoMisses++
+	mc.eng.Schedule(ready, cb)
+}
+
+// pick selects the next message to dispatch: replies first (they always
+// drain, keeping the protocol deadlock-free), then interventions, then
+// requests, alternating between the local miss interface and the network
+// request queue for fairness.
+func (mc *MC) pick() *network.Message {
+	if m := mc.popIn(network.VCReply); m != nil {
+		return m
+	}
+	if m := mc.popIn(network.VCIntervention); m != nil {
+		return m
+	}
+	mc.localFirst = !mc.localFirst
+	if mc.localFirst {
+		if m := mc.popLocal(); m != nil {
+			return m
+		}
+		return mc.popIn(network.VCRequest)
+	}
+	if m := mc.popIn(network.VCRequest); m != nil {
+		return m
+	}
+	return mc.popLocal()
+}
+
+func (mc *MC) popIn(vc network.VC) *network.Message {
+	q := mc.in[vc]
+	if len(q) == 0 {
+		return nil
+	}
+	m := q[0]
+	mc.in[vc] = q[1:]
+	return m
+}
+
+func (mc *MC) popLocal() *network.Message {
+	for i, m := range mc.local {
+		if m != nil {
+			mc.local = append(mc.local[:i], mc.local[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// Tick runs the handler dispatch unit: one dispatch per MC clock when the
+// backend has room. Registered with the engine at period cfg.ClockDiv.
+func (mc *MC) Tick(now sim.Cycle) {
+	if mc.back == nil || !mc.back.CanAccept() {
+		return
+	}
+	m := mc.pick()
+	if m == nil {
+		return
+	}
+	mc.dispatch(m)
+}
+
+func (mc *MC) dispatch(m *network.Message) {
+	mc.Dispatched++
+	t := coherence.MsgType(m.Type)
+	// Overlap the memory access with handler execution when the message may
+	// be answered with line data from this node's memory (paper §2.1).
+	if t.WantsMemory() && mc.env.HomeOf(m.Addr) == mc.env.NodeID() {
+		mc.sdramRead(addrmap.LineAddr(m.Addr))
+	}
+	// Writebacks deposit data into memory.
+	if t == MsgWBType || t == MsgSHWBType || (t == MsgPIWritebackType && mc.env.HomeOf(m.Addr) == mc.env.NodeID()) {
+		mc.sdramWrite()
+	}
+	trace := mc.table.Handle(mc.env, m)
+	mc.back.Start(trace)
+}
+
+// Aliases to avoid exporting coherence constants through this package's API.
+const (
+	MsgWBType          = coherence.MsgWB
+	MsgSHWBType        = coherence.MsgSHWB
+	MsgPIWritebackType = coherence.MsgPIWriteback
+)
+
+// FireEffect applies a trace instruction's payload. Called by the backend
+// when the carrying instruction completes (PP retire or SMTp graduation).
+func (mc *MC) FireEffect(p interface{}) {
+	switch e := p.(type) {
+	case *coherence.SendEffect:
+		mc.fireWhenReady(e.NeedsMemory, e.Msg.Addr, func() { mc.net.Send(e.Msg) })
+	case *coherence.RefillEffect:
+		extra := mc.cfg.PIExtraCycles
+		mc.fireWhenReady(e.NeedsMemory, e.LineAddr, func() {
+			if extra > 0 {
+				mc.eng.After(extra, func() {
+					mc.node.DeliverRefill(e.LineAddr, e.St, e.Acks, e.Upgrade)
+				})
+				return
+			}
+			mc.node.DeliverRefill(e.LineAddr, e.St, e.Acks, e.Upgrade)
+		})
+	case *coherence.NakEffect:
+		mc.node.DeliverNak(e.LineAddr)
+	case *coherence.IAckEffect:
+		mc.node.DeliverIAck(e.LineAddr)
+	case *coherence.WBAckEffect:
+		mc.node.DeliverWBAck(e.LineAddr)
+	default:
+		panic("memctrl: unknown effect payload")
+	}
+}
+
+// fireWhenReady runs fn now, or once the overlapped SDRAM read of line has
+// completed.
+func (mc *MC) fireWhenReady(needsMem bool, addr uint64, fn func()) {
+	if !needsMem {
+		fn()
+		return
+	}
+	line := addrmap.LineAddr(addr)
+	ready, ok := mc.memReads[line]
+	if !ok {
+		// Defensive: the dispatch-time read was skipped; start it now.
+		ready = mc.sdramRead(line)
+	}
+	if ready <= mc.eng.Now() {
+		fn()
+		return
+	}
+	mc.eng.Schedule(ready, fn)
+}
+
+// ProtoBusBusyUntil exposes the protocol bus reservation (debug aid).
+func (mc *MC) ProtoBusBusyUntil() sim.Cycle { return mc.protoBusy }

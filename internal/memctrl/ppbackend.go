@@ -1,0 +1,34 @@
+package memctrl
+
+import (
+	"smtpsim/internal/isa"
+	"smtpsim/internal/ppengine"
+	"smtpsim/internal/sim"
+)
+
+// PPBackend adapts the embedded dual-issue protocol processor to the
+// Backend interface. It must be ticked at the MC clock, before the MC
+// itself, so retiring effects become visible in dispatch order.
+type PPBackend struct {
+	Engine *ppengine.Engine
+}
+
+// NewPPBackend builds the backend; effects fire into the controller.
+func NewPPBackend(cfg ppengine.Config, mc *MC) *PPBackend {
+	b := &PPBackend{}
+	b.Engine = ppengine.New(cfg, mc.FireEffect, func() {})
+	return b
+}
+
+// CanAccept implements Backend.
+func (b *PPBackend) CanAccept() bool { return !b.Engine.Busy() }
+
+// Start implements Backend.
+func (b *PPBackend) Start(trace []isa.Instr) {
+	if !b.Engine.Start(trace) {
+		panic("memctrl: PP backend Start while busy")
+	}
+}
+
+// Tick implements sim.Clocked.
+func (b *PPBackend) Tick(now sim.Cycle) { b.Engine.Tick(now) }

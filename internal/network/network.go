@@ -1,0 +1,211 @@
+// Package network models the machine interconnect of the paper's Table 3: a
+// 2-way bristled hypercube of SGI-Spider-like 6-port routers (two nodes per
+// router), 25 ns per hop, 1 GB/s links, and four virtual networks of which
+// the coherence protocol uses three (request, reply, intervention) to stay
+// deadlock-free.
+//
+// Routing is dimension-ordered (e-cube): a message crosses its bristle
+// link into the router, the differing hypercube dimensions in ascending
+// order, and the destination's bristle link. Head latency is hop count
+// times hop time; bandwidth is reserved per directed link (busy-until), so
+// contention appears wherever the traffic pattern concentrates — endpoint
+// ports and shared dimension links alike.
+package network
+
+import (
+	"math/bits"
+
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/sim"
+)
+
+// VC is a virtual channel (virtual network).
+type VC uint8
+
+// Virtual networks. The protocol uses the first three; VCIO exists to match
+// the configuration but carries no traffic in these experiments.
+const (
+	VCRequest VC = iota
+	VCReply
+	VCIntervention
+	VCIO
+	NumVCs
+)
+
+// String names the virtual channel.
+func (v VC) String() string {
+	switch v {
+	case VCRequest:
+		return "req"
+	case VCReply:
+		return "rpl"
+	case VCIntervention:
+		return "int"
+	case VCIO:
+		return "io"
+	}
+	return "vc?"
+}
+
+// HeaderBytes is the size of a message header (routing + address + type),
+// charged to every message in addition to its data payload.
+const HeaderBytes = 16
+
+// Message is one protocol transaction flit-train. Type values are defined
+// by the coherence package; the network treats them opaquely.
+type Message struct {
+	Src, Dst  addrmap.NodeID
+	Requester addrmap.NodeID // original requester for three-hop transactions
+	VC        VC
+	Type      uint8
+	Addr      uint64
+	Aux       uint64 // ack counts, owner hints, retry generation
+	DataBytes int    // 0 for control messages, 128 for a cache line
+}
+
+// Bytes returns the total wire size of the message.
+func (m *Message) Bytes() int { return HeaderBytes + m.DataBytes }
+
+// Config holds the interconnect parameters.
+type Config struct {
+	Nodes       int
+	HopCycles   sim.Cycle // 25 ns in CPU cycles
+	BytesPerCyc float64   // link bandwidth in bytes per CPU cycle
+	LocalLoop   sim.Cycle // latency for a node sending to itself (MC loopback)
+}
+
+// Network delivers messages between node network interfaces.
+type Network struct {
+	cfg     Config
+	eng     *sim.Engine
+	deliver func(*Message)
+
+	// linkBusy reserves each directed link (bristle and dimension links)
+	// until its last accepted message finishes serializing.
+	linkBusy map[linkID]sim.Cycle
+
+	Sent      uint64
+	Delivered uint64
+	BytesSent uint64
+	LinkWaits uint64 // messages that queued behind a busy link
+}
+
+// linkID names a directed link.
+type linkID struct {
+	kind uint8 // 0 = node->router, 1 = router->router, 2 = router->node
+	from int
+	to   int
+}
+
+// New builds a network. deliver is invoked (from the event loop) when a
+// message arrives at its destination NI.
+func New(cfg Config, eng *sim.Engine, deliver func(*Message)) *Network {
+	if cfg.Nodes < 1 {
+		panic("network: need at least one node")
+	}
+	if cfg.HopCycles == 0 {
+		cfg.HopCycles = 50
+	}
+	if cfg.BytesPerCyc == 0 {
+		cfg.BytesPerCyc = 0.5
+	}
+	if cfg.LocalLoop == 0 {
+		cfg.LocalLoop = 4
+	}
+	return &Network{
+		cfg:      cfg,
+		eng:      eng,
+		deliver:  deliver,
+		linkBusy: make(map[linkID]sim.Cycle),
+	}
+}
+
+// route lists the directed links a message crosses, in order.
+func (n *Network) route(a, b addrmap.NodeID) []linkID {
+	path := []linkID{{kind: 0, from: int(a), to: routerOf(a)}}
+	cur := routerOf(a)
+	dst := routerOf(b)
+	for d := 0; cur != dst; d++ {
+		bit := 1 << uint(d)
+		if (cur^dst)&bit != 0 {
+			next := cur ^ bit
+			path = append(path, linkID{kind: 1, from: cur, to: next})
+			cur = next
+		}
+	}
+	return append(path, linkID{kind: 2, from: cur, to: int(b)})
+}
+
+// routerOf maps a node to its router in the 2-way bristled topology.
+func routerOf(n addrmap.NodeID) int { return int(n) / 2 }
+
+// Hops returns the router hop count between two nodes: Hamming distance
+// between router IDs in the hypercube, plus one hop through the local
+// router pair. A node messaging itself takes no network hops.
+func (n *Network) Hops(a, b addrmap.NodeID) int {
+	if a == b {
+		return 0
+	}
+	return bits.OnesCount(uint(routerOf(a)^routerOf(b))) + 1
+}
+
+// Diameter returns the maximum hop count of the machine.
+func (n *Network) Diameter() int {
+	d := 0
+	for i := 0; i < n.cfg.Nodes; i++ {
+		if h := n.Hops(0, addrmap.NodeID(i)); h > d {
+			d = h
+		}
+	}
+	return d
+}
+
+func serCycles(bytes int, bpc float64) sim.Cycle {
+	c := sim.Cycle(float64(bytes) / bpc)
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// Send injects a message. Arrival time accounts for injection-port queuing,
+// per-hop latency, serialization, and ejection-port queuing; delivery is a
+// scheduled event calling the deliver callback.
+func (n *Network) Send(m *Message) {
+	n.Sent++
+	n.BytesSent += uint64(m.Bytes())
+	now := n.eng.Now()
+
+	if m.Src == m.Dst {
+		// MC loopback (e.g. home == requester replies to itself) does not
+		// traverse the router.
+		n.eng.Schedule(now+n.cfg.LocalLoop, func() {
+			n.Delivered++
+			n.deliver(m)
+		})
+		return
+	}
+
+	ser := serCycles(m.Bytes(), n.cfg.BytesPerCyc)
+
+	// Reserve bandwidth on every link of the dimension-ordered route; the
+	// pipelined message advances as each link frees.
+	t := now
+	for _, l := range n.route(m.Src, m.Dst) {
+		if b := n.linkBusy[l]; b > t {
+			t = b
+			n.LinkWaits++
+		}
+		n.linkBusy[l] = t + ser
+	}
+	// Head latency over the hops plus injection and ejection serialization.
+	done := t + 2*ser + sim.Cycle(n.Hops(m.Src, m.Dst))*n.cfg.HopCycles
+
+	n.eng.Schedule(done, func() {
+		n.Delivered++
+		n.deliver(m)
+	})
+}
+
+// InFlight reports the number of sent-but-undelivered messages.
+func (n *Network) InFlight() uint64 { return n.Sent - n.Delivered }

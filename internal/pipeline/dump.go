@@ -1,0 +1,63 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"smtpsim/internal/cache"
+	"smtpsim/internal/sim"
+)
+
+// DumpState prints a one-screen diagnostic of pipeline state (debug aid for
+// integration-test triage; not used in normal runs).
+func (p *Pipeline) DumpState() {
+	fmt.Printf("  pipe: cycles=%d decQ=%d renQ=%d intQ=%d fpQ=%d lsq=%d inflight=%d storeBuf=%d wbPend=%d\n",
+		p.Cycles, len(p.decodeQ), len(p.renameQ), len(p.intQ), len(p.fpQ), len(p.lsq),
+		len(p.inflight), len(p.storeBuf), len(p.wbPending))
+	for _, t := range p.threads {
+		head := "nil"
+		if u := t.robPeek(); u != nil {
+			head = fmt.Sprintf("%v pc=%#x issued=%v exec=%v stage=%d waitMem=%v addr=%#x",
+				u.in.Op, u.in.PC, u.issued, u.executed, u.stage, u.waitingMem, u.in.Addr)
+		}
+		fmt.Printf("  thread %d (proto=%v): rob=%d front=%d wrongPath=%v blkICM=%v blkSyn=%v head={%s}\n",
+			t.id, t.isProtocol, t.robCount, t.frontCount, t.wrongPath, t.fetchBlockedICM, t.fetchBlockedSyn, head)
+	}
+	fmt.Printf("  intFree=%d fpFree=%d brStack=%d/%d\n", p.intFree.available(), p.fpFree.available(), p.brStackUsed, p.cfg.BranchStack)
+	if p.proto != nil {
+		pt := p.threads[p.ProtoTID()]
+		fmt.Printf("  proto fetchable=%v peek=%v stallUntil=%d\n", p.fetchable(pt, sim.Cycle(1<<62)), p.proto.peek() != nil, pt.fetchStallUntil)
+	}
+	if p.proto != nil {
+		fmt.Printf("  protoQ=%d", len(p.proto.queue))
+		for _, r := range p.proto.queue {
+			fmt.Printf(" [fetch %d/%d]", r.fetchIdx, len(r.trace))
+		}
+		fmt.Println()
+	}
+	for i, u := range p.intQ {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  intQ[%d]: tid=%d %v pc=%#x seq=%d wrong=%v ready=%v src1=%v(p%d r%v) src2=%v(p%d)\n",
+			i, u.tid, u.in.Op, u.in.PC, u.seq, u.wrongPath, p.srcsReady(u),
+			u.in.Src1, u.physSrc1, u.physSrc1 < 0 || p.isReady(u.in.Src1.IsFP(), u.physSrc1),
+			u.in.Src2, u.physSrc2)
+	}
+	for i, u := range p.lsq {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  lsq[%d]: tid=%d %v pc=%#x addr=%#x seq=%d issued=%v waitMem=%v exec=%v\n",
+			i, u.tid, u.in.Op, u.in.PC, u.in.Addr, u.seq, u.issued, u.waitingMem, u.executed)
+	}
+	for i, e := range p.storeBuf {
+		if i >= 8 && i < len(p.storeBuf)-2 {
+			continue
+		}
+		fmt.Printf("  storeBuf[%d]: tid=%d addr=%#x pending=%v\n", i, e.u.tid, e.u.in.Addr, e.pending)
+	}
+	p.mshr.Entries(func(e *cache.MSHREntry) {
+		fmt.Printf("  mshr line=%#x excl=%v class=%d issued=%v waiters=%d\n",
+			e.LineAddr, e.Exclusive, e.Class, e.Issued, len(e.Waiters))
+	})
+}

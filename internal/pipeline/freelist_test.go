@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFreeListConservation(t *testing.T) {
+	// Property: any interleaving of allocs and releases conserves registers
+	// and never double-allocates.
+	f := func(ops []bool, proto []bool) bool {
+		const n = 32
+		fl := newFreeList(n)
+		fl.reserve(2)
+		held := map[int16]bool{}
+		for i, alloc := range ops {
+			isProto := i < len(proto) && proto[i]
+			if alloc {
+				r := fl.alloc(isProto)
+				if r < 0 {
+					continue
+				}
+				if held[r] {
+					return false // double allocation
+				}
+				held[r] = true
+			} else {
+				for r := range held {
+					delete(held, r)
+					fl.release(r)
+					break
+				}
+			}
+		}
+		return fl.available()+len(held) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeListReservation(t *testing.T) {
+	fl := newFreeList(4)
+	fl.reserve(1)
+	var got []int16
+	for {
+		r := fl.alloc(false)
+		if r < 0 {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 3 {
+		t.Fatalf("application allocations got %d of 4 registers; 1 is reserved", len(got))
+	}
+	if r := fl.alloc(true); r < 0 {
+		t.Fatal("the protocol thread must get the reserved register")
+	}
+	if r := fl.alloc(true); r >= 0 {
+		t.Fatal("nothing should remain")
+	}
+}
+
+func TestRobRing(t *testing.T) {
+	cfg := DefaultConfig(1, false)
+	cfg.ActiveList = 4
+	th := newThread(0, false, cfg)
+	for i := 0; i < 4; i++ {
+		th.robPush(&uop{seq: uint64(i)})
+	}
+	if !th.robFull() {
+		t.Fatal("ring must be full")
+	}
+	if th.robPeek().seq != 0 || th.robTail().seq != 3 {
+		t.Fatal("head/tail wrong")
+	}
+	if th.robTailPop().seq != 3 {
+		t.Fatal("tail pop wrong")
+	}
+	if th.robPop().seq != 0 {
+		t.Fatal("head pop wrong")
+	}
+	th.robPush(&uop{seq: 9}) // wraps
+	if th.robTail().seq != 9 || th.robCount != 3 {
+		t.Fatal("wrap push wrong")
+	}
+}
+
+func TestRobOverflowPanics(t *testing.T) {
+	cfg := DefaultConfig(1, false)
+	cfg.ActiveList = 2
+	th := newThread(0, false, cfg)
+	th.robPush(&uop{})
+	th.robPush(&uop{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow must panic")
+		}
+	}()
+	th.robPush(&uop{})
+}

@@ -1,0 +1,550 @@
+package pipeline
+
+import (
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/cache"
+	"smtpsim/internal/coherence"
+	"smtpsim/internal/isa"
+	"smtpsim/internal/network"
+	"smtpsim/internal/sim"
+)
+
+// protoDConflict reports whether a protocol D-side fill of line would
+// conflict with an in-flight application miss mapping to the same L1D set
+// (the bypass-buffer condition of §2.2).
+func (p *Pipeline) protoDConflict(line uint64) bool {
+	set := p.l1d.SetIndex(line)
+	conflict := false
+	p.mshr.Entries(func(e *cache.MSHREntry) {
+		if e.Class != cache.ClassProtocol && p.l1d.SetIndex(e.LineAddr) == set {
+			conflict = true
+		}
+	})
+	return conflict
+}
+
+func (p *Pipeline) protoIConflict(line uint64) bool {
+	// Protocol code fills avoid evicting valid application code lines.
+	ev := p.l1i.WouldEvict(line)
+	return ev.State != cache.Invalid && !addrmap.IsCode(ev.Tag)
+}
+
+func (p *Pipeline) protoL2Conflict(line uint64) bool {
+	set := p.l2.SetIndex(line)
+	conflict := false
+	p.mshr.Entries(func(e *cache.MSHREntry) {
+		if e.Class != cache.ClassProtocol && p.l2.SetIndex(e.LineAddr) == set {
+			conflict = true
+		}
+	})
+	return conflict
+}
+
+// evictAwareL2Fill installs a line in the L2, handling the displaced
+// victim: inclusion invalidations of L1 sublines and a writeback of dirty
+// application data to its home.
+func (p *Pipeline) evictAwareL2Fill(line uint64, st cache.State) {
+	ev := p.l2.Fill(line, st)
+	if ev.State == cache.Invalid {
+		return
+	}
+	p.handleL2Eviction(ev)
+}
+
+// fillL2Bypass installs a protocol line in the L2 bypass buffer, keeping
+// the L1-level structures included when its victim leaves.
+func (p *Pipeline) fillL2Bypass(line uint64, st cache.State) {
+	ev := p.l2byp.Fill(line, st)
+	p.BypassFills++
+	if ev.State != cache.Invalid {
+		p.handleL2Eviction(ev)
+	}
+}
+
+func (p *Pipeline) handleL2Eviction(ev cache.Line) {
+	size := p.cfg.L2.LineSize
+	dirty := ev.State == cache.Modified
+	if p.l1d.InvalidateRange(ev.Tag, size) {
+		dirty = true
+	}
+	p.l1i.InvalidateRange(ev.Tag, size)
+	if p.dbyp != nil {
+		// Inclusion extends to the protocol bypass buffers.
+		if p.dbyp.InvalidateRange(ev.Tag, size) {
+			dirty = true
+		}
+		p.ibyp.InvalidateRange(ev.Tag, size)
+	}
+	if !addrmap.IsAppData(ev.Tag) {
+		return // directory/protocol-code lines write back locally, silently
+	}
+	if dirty && !p.wbPending[ev.Tag] {
+		p.wbPending[ev.Tag] = true
+		p.sendPI(coherence.MsgPIWriteback, ev.Tag)
+	}
+	// Clean (Shared or Exclusive) application lines drop silently; the
+	// directory's ownerself/stale-sharer paths absorb the imprecision.
+}
+
+// sendPI enqueues a processor-interface message, retrying while the local
+// miss interface is full.
+func (p *Pipeline) sendPI(t coherence.MsgType, line uint64) {
+	m := &network.Message{Type: uint8(t), Addr: line}
+	if !p.down.EnqueueLocal(m) {
+		p.SendPISpins++
+		p.eng.After(4, func() { p.sendPI(t, line) })
+	}
+}
+
+// execMem performs the cache access of a load/store/prefetch that won the
+// AGU this cycle, reporting whether the op made progress (false = blocked
+// on a structural resource and may yield the AGU).
+func (p *Pipeline) execMem(u *uop, now sim.Cycle) bool {
+	t := p.threads[u.tid]
+	switch u.in.Op {
+	case isa.OpLoad:
+		return p.execLoad(u, t, now)
+	case isa.OpStore:
+		// Address generation only; data is written at graduation through
+		// the store buffer.
+		u.issued = true
+		p.noteIssued(t, u)
+		u.doneAt = now + 3
+		p.inflight = append(p.inflight, u)
+		return true
+	case isa.OpPrefetch, isa.OpPrefetchX:
+		p.execPrefetch(u, t, now)
+		return true
+	default:
+		panic("pipeline: unexpected op in execMem: " + u.in.Op.String())
+	}
+}
+
+func (p *Pipeline) noteIssued(t *thread, u *uop) {
+	if u.counted {
+		u.counted = false
+		t.frontCount--
+	}
+}
+
+// loadDone schedules a load's completion.
+func (p *Pipeline) loadDone(u *uop, at sim.Cycle) {
+	u.doneAt = at
+	u.waitingMem = false
+	p.inflight = append(p.inflight, u)
+}
+
+func (p *Pipeline) execLoad(u *uop, t *thread, now sim.Cycle) bool {
+	addr := u.in.Addr
+	base := now + 2 + p.dtlbCheck(t, addr) // operand read stages + translation
+	hitL1 := p.l1d.Access(addr) != nil
+	if !hitL1 && t.isProtocol && (p.cfg.PerfectProtoCaches || p.dbyp.Access(addr) != nil) {
+		hitL1 = true
+	}
+	u.issued = true
+	p.noteIssued(t, u)
+	if hitL1 {
+		p.loadDone(u, base+sim.Cycle(p.cfg.L1D.HitLat))
+		return true
+	}
+	p.L1DMissed++
+	// L2 lookup.
+	l2hit := p.l2.Access(addr) != nil
+	if !l2hit && t.isProtocol && p.l2byp.Access(addr) != nil {
+		l2hit = true
+	}
+	if l2hit {
+		p.fillL1D(t, addr, false)
+		p.loadDone(u, base+sim.Cycle(p.cfg.L2HitCyc))
+		return true
+	}
+	p.L2Missed++
+	line := p.l2.LineAddr(addr)
+	if t.isProtocol {
+		p.protoL2Miss(u, line, addr, false)
+		return true
+	}
+	u.waitingMem = true
+	if !p.startAppMiss(u, addr, false, cache.ClassApp) {
+		// No MSHR: yield the AGU and retry until one frees up.
+		u.issued = false
+		u.waitingMem = false
+		if u.counted {
+			// keep ICOUNT consistent: the op returns to unissued state.
+		} else {
+			u.counted = true
+			t.frontCount++
+		}
+		p.L1DMissed-- // will be recounted on the successful attempt
+		p.L2Missed--
+		return false
+	}
+	return true
+}
+
+// protoL2Miss services a protocol-thread L2 miss over the separate protocol
+// bus, using the reserved MSHR entry for flow control (§2.1, §2.2).
+func (p *Pipeline) protoL2Miss(u *uop, line uint64, addr uint64, isStore bool) {
+	if e := p.mshr.Find(line); e != nil {
+		// Rare: protocol access to a line with an outstanding app miss;
+		// wait alongside it.
+		if u != nil {
+			u.waitingMem = true
+			e.Waiters = append(e.Waiters, u)
+		}
+		return
+	}
+	e := p.mshr.Alloc(line, isStore, cache.ClassProtocol)
+	if e == nil {
+		// Reserved entry is in use; retry shortly.
+		p.ProtoRetrySpins++
+		p.eng.After(2, func() { p.protoL2Miss(u, line, addr, isStore) })
+		return
+	}
+	if u != nil {
+		u.waitingMem = true
+		e.Waiters = append(e.Waiters, u)
+	}
+	p.down.ProtocolMiss(line, func() {
+		st := cache.Exclusive
+		if addrmap.IsDirectory(line) {
+			st = cache.Modified // local-only data, writable immediately
+		}
+		if p.protoL2Conflict(line) {
+			p.fillL2Bypass(line, st)
+		} else {
+			p.evictAwareL2Fill(line, st)
+		}
+		now := p.eng.Now()
+		for _, w := range e.Waiters {
+			switch v := w.(type) {
+			case *uop:
+				if !v.squashed {
+					p.fillL1DProto(addr)
+					p.loadDone(v, now+1)
+				}
+			case *storeEntry:
+				p.performStore(v)
+			}
+		}
+		p.mshr.Free(e)
+	})
+}
+
+// fillL1D installs the L1D subline for addr (after an L2 hit or refill).
+func (p *Pipeline) fillL1D(t *thread, addr uint64, dirty bool) {
+	if t != nil && t.isProtocol {
+		p.fillL1DProto(addr)
+		return
+	}
+	st := cache.Shared
+	if dirty {
+		st = cache.Modified
+	}
+	ev := p.l1d.Fill(addr, st)
+	if ev.State == cache.Modified {
+		// Dirty L1 victim folds back into the (inclusive) L2.
+		p.l2.SetState(ev.Tag, cache.Modified)
+	}
+}
+
+func (p *Pipeline) fillL1DProto(addr uint64) {
+	line := p.l1d.LineAddr(addr)
+	if p.protoDConflict(line) {
+		p.dbyp.Fill(line, cache.Shared)
+		p.BypassFills++
+		return
+	}
+	ev := p.l1d.Fill(line, cache.Shared)
+	if ev.State == cache.Modified {
+		p.l2.SetState(ev.Tag, cache.Modified)
+	}
+}
+
+func (p *Pipeline) execPrefetch(u *uop, t *thread, now sim.Cycle) {
+	u.issued = true
+	p.noteIssued(t, u)
+	p.Prefetches++
+	// The prefetch instruction itself completes immediately.
+	p.loadDone(u, now+3)
+	addr := u.in.Addr
+	if p.l1d.Probe(addr) != nil || p.l2.Probe(addr) != nil {
+		return
+	}
+	excl := u.in.Op == isa.OpPrefetchX
+	line := p.l2.LineAddr(addr)
+	if p.mshr.Find(line) != nil {
+		return
+	}
+	// Non-binding: dropped when resources are busy.
+	p.startAppMiss(nil, addr, excl, cache.ClassApp)
+}
+
+// startAppMiss allocates (or joins) an MSHR for an application L2 miss and
+// sends the processor-interface request. waiter may be a *uop (load), a
+// *storeEntry, or nil (prefetch).
+func (p *Pipeline) startAppMiss(waiter interface{}, addr uint64, excl bool, class cache.MSHRClass) bool {
+	line := p.l2.LineAddr(addr)
+	if e := p.mshr.Find(line); e != nil {
+		if waiter != nil {
+			e.Waiters = append(e.Waiters, waiter)
+		}
+		return true
+	}
+	e := p.mshr.Alloc(line, excl, class)
+	if e == nil {
+		return false
+	}
+	if waiter != nil {
+		e.Waiters = append(e.Waiters, waiter)
+	}
+	p.issueMissRequest(e)
+	return true
+}
+
+// issueMissRequest picks the request type from current state and sends it.
+func (p *Pipeline) issueMissRequest(e *cache.MSHREntry) {
+	t := coherence.MsgPIRead
+	if e.Exclusive {
+		if l := p.l2.Probe(e.LineAddr); l != nil && l.State == cache.Shared {
+			t = coherence.MsgPIUpgrade
+			p.UpgradeReqs++
+		} else {
+			t = coherence.MsgPIWrite
+		}
+	}
+	p.sendPI(t, e.LineAddr)
+	e.Issued = true
+}
+
+// DeliverRefill completes an outstanding miss: the line is installed in the
+// L2 (and requesting L1D sublines), waiters finish, and eager-exclusive
+// invalidation acks start being collected.
+func (p *Pipeline) DeliverRefill(line uint64, st cache.State, acks int, upgrade bool) {
+	e := p.mshr.Find(line)
+	if acks != 0 {
+		p.acksWanted[line] += acks
+		if p.acksWanted[line] == 0 {
+			delete(p.acksWanted, line)
+		}
+	}
+	if upgrade {
+		p.l2.SetState(line, st)
+	} else {
+		p.evictAwareL2Fill(line, st)
+	}
+	if e == nil {
+		return // e.g. an upgrade that raced with an eviction
+	}
+	now := p.eng.Now()
+	waiters := e.Waiters
+	p.mshr.Free(e)
+	for _, w := range waiters {
+		switch v := w.(type) {
+		case *uop:
+			if v.squashed {
+				continue
+			}
+			p.fillL1D(p.threads[v.tid], v.in.Addr, false)
+			p.loadDone(v, now+1)
+		case *storeEntry:
+			if l := p.l2.Probe(line); l != nil && l.State.Writable() {
+				p.performStore(v)
+			} else {
+				// The store joined a read miss; the drain logic will issue
+				// the upgrade now that the line is present.
+				v.pending = false
+			}
+		}
+	}
+}
+
+// DeliverNak retries a NAKed transaction after a backoff (the request may
+// change flavour: a lost upgrade becomes a read-exclusive).
+func (p *Pipeline) DeliverNak(line uint64) {
+	e := p.mshr.Find(line)
+	if e == nil {
+		return
+	}
+	e.Issued = false
+	p.eng.After(sim.Cycle(p.cfg.NakBackoff), func() {
+		if cur := p.mshr.Find(line); cur == e && !e.Issued {
+			p.issueMissRequest(e)
+		}
+	})
+}
+
+// DeliverIAck counts one invalidation acknowledgment (they may arrive
+// before the data reply announcing how many to expect, so the counter can
+// go negative transiently).
+func (p *Pipeline) DeliverIAck(line uint64) {
+	p.acksWanted[line]--
+	if p.acksWanted[line] == 0 {
+		delete(p.acksWanted, line)
+	}
+}
+
+// DeliverWBAck completes a writeback.
+func (p *Pipeline) DeliverWBAck(line uint64) {
+	delete(p.wbPending, line)
+}
+
+// HasOutstanding reports whether the line has an in-flight miss (used by
+// the node to defer interventions that overtook our data reply).
+func (p *Pipeline) HasOutstanding(line uint64) bool {
+	return p.mshr.Find(line) != nil
+}
+
+// CacheProbe implements the coherence environment's local L2 probe.
+func (p *Pipeline) CacheProbe(line uint64) cache.State {
+	if l := p.l2.Probe(line); l != nil {
+		return l.State
+	}
+	return cache.Invalid
+}
+
+// CacheInvalidate removes the line from the whole hierarchy; true if any
+// copy was dirty.
+func (p *Pipeline) CacheInvalidate(line uint64) bool {
+	dirty := p.l1d.InvalidateRange(line, p.cfg.L2.LineSize)
+	p.l1i.InvalidateRange(line, p.cfg.L2.LineSize)
+	if p.l2.Invalidate(line) == cache.Modified {
+		dirty = true
+	}
+	return dirty
+}
+
+// CacheDowngrade moves the line to Shared everywhere; true if it was dirty.
+func (p *Pipeline) CacheDowngrade(line uint64) bool {
+	dirty := p.l1d.DowngradeRange(line, p.cfg.L2.LineSize)
+	if l := p.l2.Probe(line); l != nil {
+		if l.State == cache.Modified {
+			dirty = true
+		}
+		if l.State.Writable() {
+			l.State = cache.Shared
+		}
+	}
+	return dirty
+}
+
+// drainStoreBuffer retires one committed store per cycle into the cache
+// hierarchy, acquiring ownership when needed. Entries waiting on a refill
+// do not block younger stores to other lines — in particular, a protocol
+// directory store must be able to drain past an application store whose
+// refill transitively depends on protocol-thread progress (the §2.2
+// reserved slot is only deadlock-free together with this bypass).
+func (p *Pipeline) drainStoreBuffer(now sim.Cycle) {
+	if len(p.storeBuf) == 0 {
+		return
+	}
+	blocked := p.blockedLines[:0]
+scan:
+	for _, cand := range p.storeBuf {
+		line := p.l2.LineAddr(cand.u.in.Addr)
+		for _, b := range blocked {
+			if b == line {
+				continue scan // preserve per-line store order
+			}
+		}
+		if cand.pending {
+			blocked = append(blocked, line)
+			continue
+		}
+		if p.tryDrainStore(cand) {
+			break // one store made progress this cycle
+		}
+		// Structurally blocked (MSHR exhausted): must not block younger
+		// stores to other lines — especially protocol directory stores.
+		blocked = append(blocked, line)
+	}
+	p.blockedLines = blocked[:0]
+}
+
+// tryDrainStore attempts to retire one store-buffer entry; false means it
+// is blocked on a structural resource and a younger entry may go instead.
+func (p *Pipeline) tryDrainStore(e *storeEntry) bool {
+	u := e.u
+	t := p.threads[u.tid]
+	addr := u.in.Addr
+	if t.isProtocol {
+		p.drainProtoStore(e, addr)
+		return true
+	}
+	line := p.l2.LineAddr(addr)
+	if l := p.l2.Probe(line); l != nil && l.State.Writable() {
+		p.performStore(e)
+		return true
+	}
+	if mshrE := p.mshr.Find(line); mshrE != nil {
+		// A miss for this line is already outstanding; wait for it, then
+		// the drain retries.
+		e.pending = true
+		mshrE.Waiters = append(mshrE.Waiters, e)
+		return true
+	}
+	if !p.startAppMiss(e, addr, true, cache.ClassStoreRetire) {
+		return false // MSHRs full
+	}
+	e.pending = true
+	return true
+}
+
+func (p *Pipeline) drainProtoStore(e *storeEntry, addr uint64) {
+	line := p.l2.LineAddr(addr)
+	inL2 := p.cfg.PerfectProtoCaches || p.l2.Probe(line) != nil || p.l2byp.Probe(line) != nil
+	if inL2 {
+		p.performStore(e)
+		return
+	}
+	e.pending = true
+	p.protoL2Miss(nil, line, addr, true)
+	// protoL2Miss fills the cache; complete the store when the line lands.
+	lineCopy := line
+	var poll func()
+	poll = func() {
+		if p.l2.Probe(lineCopy) != nil || p.l2byp.Probe(lineCopy) != nil {
+			p.performStore(e)
+			return
+		}
+		p.StorePollSpins++
+		p.eng.After(4, poll)
+	}
+	p.eng.After(4, poll)
+}
+
+// performStore writes a (committed) store's data into the hierarchy and
+// releases its store-buffer slot.
+func (p *Pipeline) performStore(e *storeEntry) {
+	u := e.u
+	t := p.threads[u.tid]
+	addr := u.in.Addr
+	if t.isProtocol {
+		line := p.l1d.LineAddr(addr)
+		if p.dbyp.Probe(line) != nil {
+			p.dbyp.SetState(line, cache.Modified)
+		} else if p.protoDConflict(line) {
+			p.dbyp.Fill(line, cache.Modified)
+			p.BypassFills++
+		} else {
+			p.fillL1D(nil, addr, true)
+		}
+		if l := p.l2.Probe(addr); l != nil {
+			l.State = cache.Modified
+		} else {
+			p.l2byp.SetState(p.l2byp.LineAddr(addr), cache.Modified)
+		}
+	} else {
+		p.fillL1D(nil, addr, true)
+		p.l2.SetState(p.l2.LineAddr(addr), cache.Modified)
+	}
+	// Remove from the buffer (it is always the oldest entry for its slot
+	// semantics; order among different lines does not matter here).
+	for i := range p.storeBuf {
+		if p.storeBuf[i] == e {
+			p.storeBuf = append(p.storeBuf[:i], p.storeBuf[i+1:]...)
+			break
+		}
+	}
+	p.freeUop(u)
+}

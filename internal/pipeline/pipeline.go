@@ -1,0 +1,388 @@
+// Package pipeline implements the simulated out-of-order SMT processor core
+// of the paper (Table 2): nine pipe stages, ICOUNT(2,8) fetch, per-thread
+// active lists and return-address stacks, a shared physical register file,
+// shared integer/FP issue queues, a unified load/store queue with per-thread
+// logical sections, seven ALUs (one dedicated to address calculation), three
+// FPUs, and round-robin graduation of width eight.
+//
+// It also implements the SMTp extensions of §2: a statically-bound protocol
+// thread context whose fetch is governed by the Protocol PC Valid (PPCV)
+// bit, handler dispatch coupling with optional Look-Ahead Scheduling, one
+// reserved instance of every shared resource for deadlock freedom, and
+// fully-associative bypass buffers used when protocol misses conflict with
+// in-flight application misses.
+package pipeline
+
+import (
+	"smtpsim/internal/bpred"
+	"smtpsim/internal/cache"
+	"smtpsim/internal/isa"
+	"smtpsim/internal/network"
+	"smtpsim/internal/sim"
+	"smtpsim/internal/stats"
+)
+
+// Config is the core configuration (paper Table 2 defaults via DefaultConfig).
+type Config struct {
+	AppThreads  int
+	HasProtocol bool // SMTp: add the protocol thread context
+	LAS         bool // look-ahead scheduling
+
+	// PerfectProtoCaches makes every protocol-thread instruction and data
+	// access hit (the §2.3 "separate and perfect protocol caches" study
+	// that isolates cache-pollution cost).
+	PerfectProtoCaches bool
+	// SlowBitOps models the absence of the bit-manipulation ALU ops
+	// (population count and friends) by charging emulation latency
+	// (§2.1's 0.3% study).
+	SlowBitOps bool
+
+	FetchWidth   int // 8
+	FetchThreads int // 2
+	DecodeQ      int // 8
+	RenameQ      int // 8
+	ActiveList   int // 128 per thread
+	BranchStack  int // 32
+	IntRegs      int // physical, incl. logical mappings
+	FPRegs       int
+	IntQ         int // 32
+	FPQ          int // 32
+	LSQ          int // 64
+	IntALUs      int // 6 general + the dedicated AGU
+	FPUs         int // 3
+	CommitWidth  int // 8
+	StoreBuffer  int // 32
+	MSHRs        int // 16 general (+1 retiring store)
+
+	L1I, L1D, L2 cache.Config
+	BypassLines  int // 16 each (SMTp only)
+	L2HitCyc     int // 9 round trip
+	IMissCyc     int // app instruction fill from local memory
+	NakBackoff   int // cycles before retrying a NAKed transaction
+
+	TLBEntries int // 128, fully associative, LRU (0 disables the TLBs)
+	TLBWalkCyc int // hardware page-walk latency on a TLB miss
+}
+
+// DefaultConfig returns the paper's processor configuration for the given
+// number of application threads, with or without the protocol context.
+func DefaultConfig(appThreads int, smtp bool) Config {
+	regs := map[int]int{1: 160, 2: 192, 4: 256}[appThreads]
+	if regs == 0 {
+		regs = 160 + 32*(appThreads-1)
+	}
+	return Config{
+		AppThreads:  appThreads,
+		HasProtocol: smtp,
+		LAS:         smtp,
+		FetchWidth:  8, FetchThreads: 2,
+		DecodeQ: 8, RenameQ: 8,
+		ActiveList: 128, BranchStack: 32,
+		IntRegs: regs, FPRegs: regs,
+		IntQ: 32, FPQ: 32, LSQ: 64,
+		IntALUs: 6, FPUs: 3,
+		CommitWidth: 8, StoreBuffer: 32, MSHRs: 16,
+		L1I:         cache.Config{Size: 32 * 1024, LineSize: 64, Assoc: 2, HitLat: 1},
+		L1D:         cache.Config{Size: 32 * 1024, LineSize: 32, Assoc: 2, HitLat: 1},
+		L2:          cache.Config{Size: 2 * 1024 * 1024, LineSize: 128, Assoc: 8, HitLat: 9},
+		BypassLines: 16,
+		L2HitCyc:    9,
+		IMissCyc:    180,
+		NakBackoff:  120,
+		TLBEntries:  128,
+		TLBWalkCyc:  50,
+	}
+}
+
+// Downstream is the pipeline's interface to the node's memory controller.
+type Downstream interface {
+	// EnqueueLocal queues a processor-interface request; false = queue full.
+	EnqueueLocal(m *network.Message) bool
+	// ProtocolMiss services an SMTp protocol-thread L2 miss on the separate
+	// protocol bus.
+	ProtocolMiss(line uint64, cb func())
+	// IMiss fills an application instruction line from local memory.
+	IMiss(line uint64, cb func())
+	// FireEffect applies a protocol-trace instruction payload (SMTp only).
+	FireEffect(payload interface{})
+}
+
+// SyncChecker resolves OpSyncWait instructions. Poll registers arrival on
+// first call for a token and reports whether the thread may proceed.
+type SyncChecker interface {
+	SyncPoll(global int, token uint64) bool
+}
+
+// InstrSource supplies an application thread's dynamic instruction stream.
+type InstrSource interface {
+	// Peek returns the next correct-path instruction without consuming it,
+	// or nil if the thread is (momentarily or permanently) out of work.
+	Peek() *isa.Instr
+	// Advance consumes the peeked instruction.
+	Advance()
+	// Done reports that the stream is exhausted for good.
+	Done() bool
+}
+
+// uop is one in-flight dynamic instruction.
+type uop struct {
+	in    isa.Instr
+	tid   int
+	seq   uint64 // global age
+	haveQ bool   // occupies decode/rename queue accounting
+
+	// Register renaming.
+	physDst, oldDst int16
+	physSrc1        int16
+	physSrc2        int16
+
+	// Branch state.
+	pred      bpred.Prediction
+	predTaken bool
+	mispred   bool
+	brCkpt    int  // branch stack slot, -1 none
+	counted   bool // contributes to the thread's ICOUNT
+
+	// Scheduling state.
+	stage      stage
+	inIQ       bool
+	inLSQ      bool
+	issued     bool
+	executed   bool // result produced (or store address ready)
+	squashed   bool
+	doneAt     sim.Cycle
+	waitingMem bool // load parked on an MSHR
+
+	wrongPath bool
+}
+
+type stage uint8
+
+const (
+	sFetched stage = iota
+	sDecoded
+	sRenamed
+	sDone // completed execution, awaiting graduation
+)
+
+// Pipeline is one node's processor core.
+type Pipeline struct {
+	cfg  Config
+	eng  *sim.Engine
+	down Downstream
+	sync SyncChecker
+
+	pred *bpred.Tournament
+	btb  *bpred.BTB
+
+	l1i, l1d, l2      *cache.Cache
+	ibyp, dbyp, l2byp *cache.Cache
+	mshr              *cache.MSHRFile
+	itlb, dtlb        *tlb
+
+	threads []*thread
+
+	intFree, fpFree *freeList
+	ready           []bool // physical register ready bits (int then fp space)
+
+	decodeQ []*uop
+	renameQ []*uop
+	intQ    []*uop
+	fpQ     []*uop
+	lsq     []*uop
+
+	brStackUsed int
+	divBusy     int // unpipelined divides in flight
+
+	storeBuf   []*storeEntry
+	wbPending  map[uint64]bool
+	acksWanted map[uint64]int
+
+	proto *protoState
+
+	ckptsArr []checkpoint
+	inflight []*uop
+	commitRR int
+
+	// Reused per-cycle scratch (allocation-free steady state).
+	scratch      []*uop
+	memScratch   []*uop
+	seen         []bool
+	fetchCands   []*thread
+	uopPool      []*uop
+	blockedLines []uint64
+
+	seq uint64
+
+	// Statistics.
+	Cycles          uint64
+	Retired         []uint64 // per hardware context
+	MemStallCycles  []uint64 // per app thread
+	BrResolved      []uint64
+	BrMispredicted  []uint64
+	SquashedUops    []uint64
+	SquashCycles    []uint64 // cycles in which >=1 uop of the ctx was squash-freed
+	ProtoActiveCyc  uint64
+	ProtoOccBrStack stats.Peak
+	ProtoOccIntReg  stats.Peak
+	ProtoOccIQ      stats.Peak
+	ProtoOccLSQ     stats.Peak
+	L1DMissed       uint64
+	L2Missed        uint64
+	BypassFills     uint64
+	UpgradeReqs     uint64
+	Prefetches      uint64
+	ProtoRetrySpins uint64
+	SendPISpins     uint64
+	StorePollSpins  uint64
+}
+
+type storeEntry struct {
+	u       *uop
+	pending bool // waiting for a refill
+}
+
+// New builds a core. down may be nil for front-end-only unit tests (any
+// memory access will then panic).
+func New(cfg Config, eng *sim.Engine, down Downstream, sync SyncChecker) *Pipeline {
+	nctx := cfg.AppThreads
+	if cfg.HasProtocol {
+		nctx++
+	}
+	p := &Pipeline{
+		cfg:  cfg,
+		eng:  eng,
+		down: down,
+		sync: sync,
+		pred: bpred.NewTournament(nctx),
+		btb:  bpred.NewBTB(256, 4),
+		l1i:  cache.New(cfg.L1I),
+		l1d:  cache.New(cfg.L1D),
+		l2:   cache.New(cfg.L2),
+		mshr: cache.NewMSHRFile(cfg.MSHRs, cfg.HasProtocol),
+
+		wbPending:  make(map[uint64]bool),
+		acksWanted: make(map[uint64]int),
+
+		Retired:        make([]uint64, nctx),
+		MemStallCycles: make([]uint64, nctx),
+		BrResolved:     make([]uint64, nctx),
+		BrMispredicted: make([]uint64, nctx),
+		SquashedUops:   make([]uint64, nctx),
+		SquashCycles:   make([]uint64, nctx),
+	}
+	if cfg.TLBEntries > 0 {
+		p.itlb = newTLB(cfg.TLBEntries)
+		p.dtlb = newTLB(cfg.TLBEntries)
+	}
+	if cfg.HasProtocol {
+		p.ibyp = cache.NewBypass(cfg.L1I.LineSize, cfg.BypassLines)
+		p.dbyp = cache.NewBypass(cfg.L1D.LineSize, cfg.BypassLines)
+		p.l2byp = cache.NewBypass(cfg.L2.LineSize, cfg.BypassLines)
+	}
+	p.intFree = newFreeList(cfg.IntRegs)
+	p.fpFree = newFreeList(cfg.FPRegs)
+	p.ready = make([]bool, cfg.IntRegs+cfg.FPRegs)
+	for i := 0; i < nctx; i++ {
+		t := newThread(i, cfg.HasProtocol && i == cfg.AppThreads, cfg)
+		// Boot: map all logical registers (the protocol boot sequence
+		// initializes all 32 protocol registers, §2.2).
+		for l := 1; l <= isa.NumLogical; l++ {
+			var r int16
+			if isa.Reg(l).IsFP() {
+				r = p.fpFree.alloc(false)
+				if r < 0 {
+					panic("pipeline: not enough FP registers for logical state")
+				}
+				t.mapTable[l] = r
+				p.ready[int(r)+cfg.IntRegs] = true
+			} else {
+				r = p.intFree.alloc(false)
+				if r < 0 {
+					panic("pipeline: not enough integer registers for logical state")
+				}
+				t.mapTable[l] = r
+				p.ready[r] = true
+			}
+		}
+		p.threads = append(p.threads, t)
+	}
+	if cfg.HasProtocol {
+		p.intFree.reserve(1) // the protocol thread's reserved rename register
+		p.proto = newProtoState(p)
+	}
+	p.seen = make([]bool, nctx)
+	return p
+}
+
+// newUop takes an instruction record from the pool; freeUop returns one
+// once nothing can reference it (retired, performed, or squash-drained).
+func (p *Pipeline) newUop() *uop {
+	if n := len(p.uopPool); n > 0 {
+		u := p.uopPool[n-1]
+		p.uopPool = p.uopPool[:n-1]
+		*u = uop{}
+		return u
+	}
+	return &uop{}
+}
+
+func (p *Pipeline) freeUop(u *uop) {
+	p.uopPool = append(p.uopPool, u)
+}
+
+// NumContexts returns the number of hardware thread contexts.
+func (p *Pipeline) NumContexts() int { return len(p.threads) }
+
+// ProtoTID returns the protocol thread's context index (-1 if none).
+func (p *Pipeline) ProtoTID() int {
+	if !p.cfg.HasProtocol {
+		return -1
+	}
+	return p.cfg.AppThreads
+}
+
+// SetSource installs an application thread's instruction source.
+func (p *Pipeline) SetSource(tid int, src InstrSource) {
+	if tid == p.ProtoTID() {
+		panic("pipeline: protocol thread source is the handler dispatch unit")
+	}
+	p.threads[tid].source = src
+}
+
+// Backend returns the SMTp protocol backend for the memory controller.
+func (p *Pipeline) Backend() *ProtoBackend {
+	if p.proto == nil {
+		panic("pipeline: not an SMTp core")
+	}
+	return &ProtoBackend{p: p}
+}
+
+// AppDone reports whether every application thread has drained completely.
+func (p *Pipeline) AppDone() bool {
+	for i := 0; i < p.cfg.AppThreads; i++ {
+		t := p.threads[i]
+		if t.source == nil {
+			return false
+		}
+		if !t.source.Done() || t.robCount != 0 || t.frontCount != 0 || t.fetchBlockedICM {
+			return false
+		}
+	}
+	// All stores must have drained too.
+	return len(p.storeBuf) == 0
+}
+
+// Tick advances the core one cycle. Stages run in reverse order so results
+// flow with single-cycle latency between adjacent stages.
+func (p *Pipeline) Tick(now sim.Cycle) {
+	p.Cycles++
+	p.commit(now)
+	p.writeback(now)
+	p.issue(now)
+	p.drainStoreBuffer(now)
+	p.rename(now)
+	p.decode(now)
+	p.fetch(now)
+	p.sampleStats(now)
+}

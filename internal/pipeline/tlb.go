@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/sim"
+)
+
+// tlb is a fully-associative LRU translation buffer (paper Table 2: 128
+// entries, fully associative, LRU, 4 KB pages). The protocol thread's code
+// and data live in unmapped physical memory and never consult the TLBs
+// (§2.1); only application instruction fetch and data access translate.
+//
+// The paper does not give a table-walk latency; the penalty here is a
+// configurable fixed stall (hardware-walker class), and the applications
+// are blocked for the DTLB exactly as Table 1 notes for FFT, so misses are
+// rare by construction.
+type tlb struct {
+	pages []uint64
+	valid []bool
+	stamp []uint64
+	clock uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+func newTLB(entries int) *tlb {
+	return &tlb{
+		pages: make([]uint64, entries),
+		valid: make([]bool, entries),
+		stamp: make([]uint64, entries),
+	}
+}
+
+// lookup translates addr, filling on miss; reports whether it hit.
+func (t *tlb) lookup(addr uint64) bool {
+	page := addrmap.PageOf(addr)
+	t.clock++
+	victim := 0
+	for i := range t.pages {
+		if t.valid[i] && t.pages[i] == page {
+			t.stamp[i] = t.clock
+			t.Hits++
+			return true
+		}
+		if !t.valid[i] {
+			victim = i
+		} else if t.valid[victim] && t.stamp[i] < t.stamp[victim] {
+			victim = i
+		}
+	}
+	t.Misses++
+	t.pages[victim] = page
+	t.valid[victim] = true
+	t.stamp[victim] = t.clock
+	return false
+}
+
+// dtlbCheck translates a data access for an application thread, returning
+// the added latency (0 on hit). The protocol thread and unmapped regions
+// bypass translation.
+func (p *Pipeline) dtlbCheck(t *thread, addr uint64) sim.Cycle {
+	if t.isProtocol || p.dtlb == nil || !addrmap.IsAppData(addr) {
+		return 0
+	}
+	if p.dtlb.lookup(addr) {
+		return 0
+	}
+	return sim.Cycle(p.cfg.TLBWalkCyc)
+}
+
+// itlbCheck translates an application instruction fetch; a miss blocks the
+// thread for the walk latency.
+func (p *Pipeline) itlbCheck(t *thread, pc uint64, now sim.Cycle) bool {
+	if t.isProtocol || p.itlb == nil {
+		return true
+	}
+	if p.itlb.lookup(pc) {
+		return true
+	}
+	t.fetchStallUntil = now + sim.Cycle(p.cfg.TLBWalkCyc)
+	return false
+}

@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"testing"
+
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/isa"
+)
+
+func TestTLBHitMissLRU(t *testing.T) {
+	tb := newTLB(2)
+	if tb.lookup(0) {
+		t.Fatal("cold lookup must miss")
+	}
+	if !tb.lookup(100) {
+		t.Fatal("same page must hit")
+	}
+	tb.lookup(addrmap.PageSize)     // second entry
+	tb.lookup(0)                    // page 0 now MRU
+	tb.lookup(3 * addrmap.PageSize) // evicts page 1 (LRU), becomes MRU
+	if tb.lookup(addrmap.PageSize) {
+		t.Fatal("LRU page must have been evicted")
+	}
+	// That miss refilled page 1 over the then-LRU page 0; the MRU page 3
+	// must have survived both evictions.
+	if !tb.lookup(3 * addrmap.PageSize) {
+		t.Fatal("MRU page must survive")
+	}
+	if tb.Hits == 0 || tb.Misses == 0 {
+		t.Fatal("statistics not counted")
+	}
+}
+
+func TestDTLBMissAddsLatency(t *testing.T) {
+	r := newRig(1, false)
+	th := r.p.threads[0]
+	if got := r.p.dtlbCheck(th, 0x4000); got == 0 {
+		t.Fatal("cold DTLB access must pay the walk")
+	}
+	if got := r.p.dtlbCheck(th, 0x4008); got != 0 {
+		t.Fatal("second access to the page must hit")
+	}
+}
+
+func TestProtocolThreadBypassesTLBs(t *testing.T) {
+	r := newRig(1, true)
+	pt := r.p.threads[r.p.ProtoTID()]
+	// Directory addresses via the protocol thread never touch the DTLB.
+	if got := r.p.dtlbCheck(pt, addrmap.DirBase+0x40); got != 0 {
+		t.Fatal("protocol accesses are unmapped: no TLB")
+	}
+	if r.p.dtlb.Misses != 0 {
+		t.Fatal("protocol access polluted the DTLB")
+	}
+	if !r.p.itlbCheck(pt, addrmap.CodeBase, 0) {
+		t.Fatal("protocol fetch must not consult the ITLB")
+	}
+}
+
+func TestDirectoryRegionBypassesDTLB(t *testing.T) {
+	r := newRig(1, false)
+	th := r.p.threads[0]
+	if got := r.p.dtlbCheck(th, addrmap.DirBase); got != 0 {
+		t.Fatal("unmapped region must not translate")
+	}
+}
+
+func TestTLBDisabled(t *testing.T) {
+	eng, down, syn := newRig(1, false).eng, &mockDown{}, &alwaysSync{ready: true}
+	_ = eng
+	cfg := DefaultConfig(1, false)
+	cfg.TLBEntries = 0
+	p := New(cfg, newRig(1, false).eng, down, syn)
+	if got := p.dtlbCheck(p.threads[0], 0x1000); got != 0 {
+		t.Fatal("disabled TLB must never stall")
+	}
+}
+
+func TestITLBMissStallsFetch(t *testing.T) {
+	r := newRig(1, false)
+	ins := prog(0x100000, aluChain(4)...)
+	r.warm(ins)
+	r.p.SetSource(0, &sliceSource{ins: ins})
+	// First fetch attempt walks the ITLB.
+	r.run(3)
+	if r.p.threads[0].fetchStallUntil == 0 {
+		t.Fatal("cold ITLB miss must stall fetch")
+	}
+	r.runUntilDone(t, 1000)
+	if r.p.itlb.Misses == 0 {
+		t.Fatal("ITLB miss not counted")
+	}
+	_ = isa.OpNop
+}

@@ -1,0 +1,224 @@
+// Package ppengine models the programmable dual-issue protocol processor
+// embedded in the memory controller of the non-SMTp machine models (Base,
+// IntPerfect, Int512KB, Int64KB) — a MAGIC/FLASH-style engine, closer in
+// spirit to the SGI Origin hub but programmable (paper §3).
+//
+// The engine executes the executed-path handler traces produced by
+// internal/coherence, two instructions per cycle in order, with a 32 KB
+// direct-mapped protocol instruction cache and a direct-mapped directory
+// data cache (perfect, 512 KB, or 64 KB depending on the machine model).
+// It is ticked at the memory-controller clock by the memory controller.
+package ppengine
+
+import (
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/isa"
+	"smtpsim/internal/sim"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// DirCacheBytes is the directory data cache size; 0 means perfect
+	// (always hits).
+	DirCacheBytes int
+	// ICacheBytes is the protocol instruction cache size (32 KB DM in all
+	// paper configurations).
+	ICacheBytes int
+	// LineBytes is the line size of both caches.
+	LineBytes int
+	// MissPenalty is the stall, in PP cycles, for a directory-cache or
+	// instruction-cache miss (an SDRAM access at the MC's clock).
+	MissPenalty int
+}
+
+// DefaultConfig returns the paper's protocol-processor configuration for a
+// given directory-cache size (0 = perfect) and miss penalty.
+func DefaultConfig(dirCacheBytes, missPenalty int) Config {
+	return Config{
+		DirCacheBytes: dirCacheBytes,
+		ICacheBytes:   32 * 1024,
+		LineBytes:     64,
+		MissPenalty:   missPenalty,
+	}
+}
+
+// dmCache is a minimal direct-mapped tag array.
+type dmCache struct {
+	tags  []uint64
+	valid []bool
+	line  uint64
+
+	hits, misses uint64
+}
+
+func newDM(bytes, line int) *dmCache {
+	n := bytes / line
+	return &dmCache{tags: make([]uint64, n), valid: make([]bool, n), line: uint64(line)}
+}
+
+// access returns true on hit, filling on miss.
+func (c *dmCache) access(addr uint64) bool {
+	la := addr &^ (c.line - 1)
+	idx := (addr / c.line) % uint64(len(c.tags))
+	if c.valid[idx] && c.tags[idx] == la {
+		c.hits++
+		return true
+	}
+	c.misses++
+	c.tags[idx] = la
+	c.valid[idx] = true
+	return false
+}
+
+// Engine is one node's embedded protocol processor.
+type Engine struct {
+	cfg Config
+
+	dir *dmCache // nil = perfect
+	ic  *dmCache
+
+	trace []isa.Instr
+	pc    int
+	stall int
+
+	fire func(payload interface{})
+	done func()
+
+	// Statistics.
+	BusyCycles    uint64
+	Retired       uint64
+	Handlers      uint64
+	TakenBranches uint64
+}
+
+// New builds an engine. fire is invoked for each instruction payload
+// (sends, refills) as the instruction completes; done is invoked when a
+// handler's trailing ldctxt completes.
+func New(cfg Config, fire func(interface{}), done func()) *Engine {
+	e := &Engine{cfg: cfg, fire: fire, done: done}
+	if cfg.DirCacheBytes > 0 {
+		e.dir = newDM(cfg.DirCacheBytes, cfg.LineBytes)
+	}
+	if cfg.ICacheBytes > 0 {
+		e.ic = newDM(cfg.ICacheBytes, cfg.LineBytes)
+	}
+	return e
+}
+
+// Busy reports whether a handler is executing.
+func (e *Engine) Busy() bool { return e.trace != nil }
+
+// Start begins executing a handler trace. Returns false if the engine is
+// already busy.
+func (e *Engine) Start(trace []isa.Instr) bool {
+	if e.Busy() {
+		return false
+	}
+	if len(trace) == 0 {
+		panic("ppengine: empty trace")
+	}
+	e.trace = trace
+	e.pc = 0
+	e.stall = 0
+	e.Handlers++
+	return true
+}
+
+// DirHits and friends expose cache statistics.
+func (e *Engine) DirHits() uint64 {
+	if e.dir == nil {
+		return 0
+	}
+	return e.dir.hits
+}
+
+// DirMisses returns directory data cache misses (0 when perfect).
+func (e *Engine) DirMisses() uint64 {
+	if e.dir == nil {
+		return 0
+	}
+	return e.dir.misses
+}
+
+// ICMisses returns protocol instruction cache misses.
+func (e *Engine) ICMisses() uint64 {
+	if e.ic == nil {
+		return 0
+	}
+	return e.ic.misses
+}
+
+// memStall returns the stall an instruction's memory behaviour costs.
+func (e *Engine) memStall(in *isa.Instr) int {
+	total := 0
+	if e.ic != nil && !e.ic.access(in.PC) {
+		total += e.cfg.MissPenalty
+	}
+	if in.Op.IsMem() && !in.Op.IsUncached() && addrmap.IsDirectory(in.Addr) {
+		if e.dir != nil && !e.dir.access(in.Addr) {
+			total += e.cfg.MissPenalty
+		}
+	}
+	return total
+}
+
+// Tick advances one PP cycle: up to two in-order instructions issue,
+// subject to dual-issue pairing rules (one memory op per cycle, no
+// intra-group dependence, a branch ends the group; a taken branch costs a
+// refetch bubble).
+func (e *Engine) Tick(now sim.Cycle) {
+	if e.trace == nil {
+		return
+	}
+	e.BusyCycles++
+	if e.stall > 0 {
+		e.stall--
+		return
+	}
+
+	issued := 0
+	var firstDst isa.Reg = isa.RegNone
+	firstMem := false
+	for issued < 2 && e.pc < len(e.trace) {
+		in := &e.trace[e.pc]
+		if issued == 1 {
+			// Pairing rules for the second slot.
+			if in.Op.IsMem() && firstMem {
+				break
+			}
+			if firstDst != isa.RegNone && (in.Src1 == firstDst || in.Src2 == firstDst) {
+				break
+			}
+		}
+		if s := e.memStall(in); s > 0 {
+			// Miss: stall, then the instruction issues after the refill
+			// (the tag array was filled by the probe).
+			e.stall = s
+			return
+		}
+		// Instruction completes this cycle.
+		e.retire(in)
+		e.pc++
+		issued++
+		firstDst = in.Dst
+		firstMem = firstMem || in.Op.IsMem()
+		if in.Op == isa.OpBranch {
+			if in.Taken {
+				e.TakenBranches++
+				e.stall = 1 // refetch bubble
+			}
+			break
+		}
+	}
+	if e.pc >= len(e.trace) {
+		e.trace = nil
+		e.done()
+	}
+}
+
+func (e *Engine) retire(in *isa.Instr) {
+	e.Retired++
+	if in.Payload != nil {
+		e.fire(in.Payload)
+	}
+}

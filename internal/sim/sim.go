@@ -1,0 +1,154 @@
+// Package sim provides the deterministic simulation kernel shared by all
+// components of the SMTp machine model: a global cycle counter expressed in
+// processor clocks, a timed event heap for latencies that are most naturally
+// expressed as "call me back in N cycles" (SDRAM accesses, network hops), and
+// clock-divided tickers for components that run slower than the core (the
+// memory controller at half the core clock, the Base model's off-chip
+// controller at 400 MHz).
+//
+// The kernel is single-threaded and fully deterministic: components are
+// ticked in registration order and events scheduled for the same cycle fire
+// in FIFO order of scheduling.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in processor clock cycles.
+type Cycle uint64
+
+// Clocked is a component stepped by the engine. Tick is invoked once per
+// period (see AddClocked) with the current cycle.
+type Clocked interface {
+	Tick(now Cycle)
+}
+
+// ClockedFunc adapts a plain function to the Clocked interface.
+type ClockedFunc func(now Cycle)
+
+// Tick implements Clocked.
+func (f ClockedFunc) Tick(now Cycle) { f(now) }
+
+type clockedEntry struct {
+	c      Clocked
+	period Cycle // tick every `period` cycles
+	phase  Cycle // tick when now%period == phase
+}
+
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns simulated time. Create one per machine with NewEngine.
+type Engine struct {
+	now     Cycle
+	seq     uint64
+	comps   []clockedEntry
+	events  eventHeap
+	stopped bool
+}
+
+// NewEngine returns an engine at cycle 0 with no components.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// AddClocked registers a component ticked every period cycles (period >= 1),
+// starting at cycle phase%period. Components registered earlier tick earlier
+// within a cycle.
+func (e *Engine) AddClocked(c Clocked, period, phase Cycle) {
+	if period == 0 {
+		panic("sim: clock period must be >= 1")
+	}
+	e.comps = append(e.comps, clockedEntry{c: c, period: period, phase: phase % period})
+}
+
+// Schedule runs fn at the given absolute cycle. Scheduling in the past (or
+// the current cycle, before events have drained) is an error that panics:
+// same-cycle work should be done inline by the caller.
+func (e *Engine) Schedule(at Cycle, fn func()) {
+	if at <= e.now {
+		panic(fmt.Sprintf("sim: schedule at %d but now is %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn delay cycles from now (delay >= 1).
+func (e *Engine) After(delay Cycle, fn func()) {
+	if delay == 0 {
+		delay = 1
+	}
+	e.Schedule(e.now+delay, fn)
+}
+
+// Stop makes Run return after the current cycle completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Step advances one cycle: the cycle counter increments, due events fire in
+// scheduling order, then clocked components whose period divides the new
+// cycle tick in registration order.
+func (e *Engine) Step() {
+	e.now++
+	for len(e.events) > 0 && e.events[0].at <= e.now {
+		ev := heap.Pop(&e.events).(event)
+		ev.fn()
+	}
+	for _, ce := range e.comps {
+		if e.now%ce.period == ce.phase {
+			ce.c.Tick(e.now)
+		}
+	}
+}
+
+// Run steps until Stop is called or maxCycles elapse, returning the number of
+// cycles executed.
+func (e *Engine) Run(maxCycles Cycle) Cycle {
+	start := e.now
+	for !e.stopped && e.now-start < maxCycles {
+		e.Step()
+	}
+	return e.now - start
+}
+
+// PendingEvents reports the number of not-yet-fired scheduled events. Useful
+// for drain/quiesce checks in tests.
+func (e *Engine) PendingEvents() int { return len(e.events) }
+
+// PendingTimes returns the due-times of up to n pending events (debug aid).
+func (e *Engine) PendingTimes(n int) []Cycle {
+	var out []Cycle
+	for i := 0; i < len(e.events) && i < n; i++ {
+		out = append(out, e.events[i].at)
+	}
+	return out
+}

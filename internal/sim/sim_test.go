@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStepOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.AddClocked(ClockedFunc(func(now Cycle) { order = append(order, "a") }), 1, 0)
+	e.AddClocked(ClockedFunc(func(now Cycle) { order = append(order, "b") }), 1, 0)
+	e.Step()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("components ticked out of registration order: %v", order)
+	}
+}
+
+func TestEngineClockDividers(t *testing.T) {
+	e := NewEngine()
+	var fast, half, quarter int
+	e.AddClocked(ClockedFunc(func(Cycle) { fast++ }), 1, 0)
+	e.AddClocked(ClockedFunc(func(Cycle) { half++ }), 2, 0)
+	e.AddClocked(ClockedFunc(func(Cycle) { quarter++ }), 4, 0)
+	for i := 0; i < 100; i++ {
+		e.Step()
+	}
+	if fast != 100 || half != 50 || quarter != 25 {
+		t.Fatalf("got fast=%d half=%d quarter=%d, want 100/50/25", fast, half, quarter)
+	}
+}
+
+func TestEngineEventsFireInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(3, func() { got = append(got, 0) })
+	e.Schedule(5, func() { got = append(got, 2) }) // same cycle: FIFO by scheduling
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.PendingEvents() != 0 {
+		t.Fatalf("pending events remain: %d", e.PendingEvents())
+	}
+}
+
+func TestEngineAfterAndStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(10, func() { fired = true; e.Stop() })
+	n := e.Run(1000)
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if n != 10 {
+		t.Fatalf("ran %d cycles, want 10", n)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestEngineEventDuringEvent(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	e.Schedule(1, func() {
+		e.Schedule(2, func() { hits++ })
+	})
+	e.Step()
+	e.Step()
+	if hits != 1 {
+		t.Fatalf("nested event fired %d times, want 1", hits)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seeded generators diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical values of 1000", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	r := NewRand(1)
+	child := r.Fork()
+	// Child continues deterministically regardless of parent use.
+	c1 := child.Uint64()
+	child2 := NewRand(1).Fork()
+	if child2.Uint64() != c1 {
+		t.Fatal("fork is not deterministic")
+	}
+}

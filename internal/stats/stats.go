@@ -1,0 +1,116 @@
+// Package stats provides the lightweight statistics primitives used
+// throughout the simulator: named counters, peak/average trackers for
+// resource occupancy (paper Table 9), and ratio helpers for the occupancy
+// and characterization tables.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Peak tracks the maximum of a sampled quantity together with the number of
+// samples, e.g. peak protocol-thread occupancy of the integer queue.
+type Peak struct {
+	max     int
+	samples uint64
+	sum     uint64
+}
+
+// Sample records one observation.
+func (p *Peak) Sample(v int) {
+	if v > p.max {
+		p.max = v
+	}
+	p.samples++
+	p.sum += uint64(v)
+}
+
+// Max returns the largest observation (zero if none).
+func (p *Peak) Max() int { return p.max }
+
+// Mean returns the average observation (zero if none).
+func (p *Peak) Mean() float64 {
+	if p.samples == 0 {
+		return 0
+	}
+	return float64(p.sum) / float64(p.samples)
+}
+
+// Samples returns the number of observations.
+func (p *Peak) Samples() uint64 { return p.samples }
+
+// Reset clears all state.
+func (p *Peak) Reset() { *p = Peak{} }
+
+// Ratio returns num/den as a float, or 0 when den == 0.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Percent returns 100*num/den, or 0 when den == 0.
+func Percent(num, den uint64) float64 {
+	return 100 * Ratio(num, den)
+}
+
+// Set is a named collection of counters, handy for dumping component state.
+type Set struct {
+	names    []string
+	counters map[string]*Counter
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{counters: make(map[string]*Counter)}
+}
+
+// Counter returns (creating on first use) the counter with the given name.
+func (s *Set) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.counters[name] = c
+	s.names = append(s.names, name)
+	return c
+}
+
+// Get returns the value of a named counter (zero if absent).
+func (s *Set) Get(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// String renders the set sorted by name, one counter per line.
+func (s *Set) String() string {
+	names := append([]string(nil), s.names...)
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d\n", n, s.counters[n].Value())
+	}
+	return b.String()
+}

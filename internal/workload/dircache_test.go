@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"testing"
+
+	"smtpsim/internal/machine"
+)
+
+// TestDirectoryCachePressure pins the Int64KB-vs-Int512KB differentiation
+// of the paper's single-node results (Base beats Int64KB by 20% on
+// Radix-Sort, Figure 4): once the directory footprint exceeds 64 KB, the
+// small directory cache must miss more and run slower. Skipped in -short
+// mode (the footprint needs a scale-48 problem).
+func TestDirectoryCachePressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a large problem to exceed the 64KB directory cache")
+	}
+	w := Build(Params{App: Radix, Threads: 1, Nodes: 1, Scale: 48, Seed: 2})
+	run := func(model machine.Model) (cycles uint64, misses uint64) {
+		m := machine.New(machine.Config{Model: model, Nodes: 1, AppThreads: 1})
+		Attach(m, w)
+		cyc, done := m.Run(100_000_000)
+		if !done {
+			t.Fatalf("%v did not complete", model)
+		}
+		return uint64(cyc), m.Nodes[0].PP.Engine.DirMisses()
+	}
+	c512, m512 := run(machine.Int512KB)
+	c64, m64 := run(machine.Int64KB)
+	if m64 <= m512 {
+		t.Fatalf("64KB dir cache misses (%d) must exceed 512KB's (%d)", m64, m512)
+	}
+	if c64 <= c512 {
+		t.Fatalf("Int64KB (%d cycles) must be slower than Int512KB (%d)", c64, c512)
+	}
+}

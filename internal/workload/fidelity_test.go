@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"smtpsim/internal/isa"
+)
+
+// Fidelity checks against the paper's Table 1 descriptions.
+
+func countOps(s []isa.Instr, pred func(isa.Op) bool) int {
+	n := 0
+	for i := range s {
+		if pred(s[i].Op) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPrefetchingMatchesPaper(t *testing.T) {
+	// "where possible all applications other than Water use hand-inserted
+	// prefetch and prefetch exclusive instructions" (§3). This port inserts
+	// them where they matter most: FFT's transpose streams and Radix's
+	// permutation writes (see DESIGN.md §4).
+	for _, a := range []App{FFT, Radix} {
+		w := Build(params(a, 4, 4))
+		pf := 0
+		for _, s := range w.Streams {
+			pf += countOps(s, func(o isa.Op) bool {
+				return o == isa.OpPrefetch || o == isa.OpPrefetchX
+			})
+		}
+		if pf == 0 {
+			t.Errorf("%v must prefetch", a)
+		}
+	}
+	w := Build(params(Water, 4, 4))
+	for _, s := range w.Streams {
+		if countOps(s, func(o isa.Op) bool {
+			return o == isa.OpPrefetch || o == isa.OpPrefetchX
+		}) != 0 {
+			t.Error("Water does not prefetch in the paper")
+		}
+	}
+}
+
+func TestRadixUsesPrefetchExclusive(t *testing.T) {
+	// The permutation phase's scattered writes use prefetch-exclusive.
+	w := Build(params(Radix, 4, 4))
+	px := 0
+	for _, s := range w.Streams {
+		px += countOps(s, func(o isa.Op) bool { return o == isa.OpPrefetchX })
+	}
+	if px == 0 {
+		t.Fatal("Radix-Sort's permutation must prefetch exclusive")
+	}
+}
+
+func TestOnlyOceanAndWaterLock(t *testing.T) {
+	// Ocean has the global error lock; Water has the global-sum lock; the
+	// other four synchronize with barriers only.
+	hasLock := func(a App) bool {
+		w := Build(params(a, 4, 4))
+		for _, s := range w.Streams {
+			for i := range s {
+				if s[i].Op == isa.OpSyncWait && s[i].SyncTok>>60 == 2 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, a := range []App{Ocean, Water} {
+		if !hasLock(a) {
+			t.Errorf("%v must use a lock", a)
+		}
+	}
+	for _, a := range []App{FFT, FFTW, LU, Radix} {
+		if hasLock(a) {
+			t.Errorf("%v should be barrier-only", a)
+		}
+	}
+}
+
+func TestWaterIsOneMoleculePerLine(t *testing.T) {
+	// Migratory records: each molecule occupies its own coherence line so
+	// record updates transfer whole-line ownership.
+	w := Build(params(Water, 2, 2))
+	for _, s := range w.Streams {
+		for i := range s {
+			in := &s[i]
+			if in.Op == isa.OpStore && in.Addr >= regionA && in.Addr < regionB {
+				if in.Addr%128 != 0 {
+					t.Fatalf("molecule store to %#x not line-aligned", in.Addr)
+				}
+			}
+		}
+	}
+}
+
+func TestFFTTransposeIsDisjoint(t *testing.T) {
+	// Each regionB line must be read by exactly one thread per pass (the
+	// transpose touches every line once; overlap caused eager-exclusive
+	// ping-pong storms).
+	w := Build(params(FFT, 4, 4))
+	readers := map[uint64]map[int]bool{}
+	for g, s := range w.Streams {
+		for i := range s {
+			in := &s[i]
+			if in.Op == isa.OpLoad && in.Addr >= regionB && in.Addr < regionC {
+				line := in.Addr &^ 127
+				if readers[line] == nil {
+					readers[line] = map[int]bool{}
+				}
+				readers[line][g] = true
+			}
+		}
+	}
+	for line, rs := range readers {
+		if len(rs) > 1 {
+			t.Fatalf("transpose line %#x read by %d threads", line, len(rs))
+		}
+	}
+}
+
+func TestStreamsEndAtABarrier(t *testing.T) {
+	// Every thread's final synchronization is the same barrier instance, so
+	// no thread races past the end of the program.
+	for _, a := range Apps() {
+		w := Build(params(a, 4, 2))
+		var lastTok uint64
+		for g, s := range w.Streams {
+			var tok uint64
+			for i := range s {
+				if s[i].Op == isa.OpSyncWait && s[i].SyncTok>>60 == 1 {
+					tok = s[i].SyncTok
+				}
+			}
+			if g == 0 {
+				lastTok = tok
+			} else if tok != lastTok {
+				t.Fatalf("%v: thread %d final barrier %#x != thread 0's %#x", a, g, tok, lastTok)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+
+	"smtpsim/internal/machine"
+)
+
+// TestRadixSMTpRegression pins the store-buffer drain deadlock once hit by
+// Radix on a 2-node 2-way SMTp machine: pending application stores (out of
+// MSHRs) must not stop protocol directory stores from draining.
+func TestRadixSMTpRegression(t *testing.T) {
+	w := Build(Params{App: Radix, Threads: 4, Nodes: 2, Scale: 0.25, Seed: 6})
+	m := machine.New(machine.Config{Model: machine.SMTp, Nodes: 2, AppThreads: 2})
+	Attach(m, w)
+	if _, done := m.Run(10_000_000); !done {
+		t.Fatal("Radix deadlocked on SMTp")
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllAppsAllModelsIntegration is the broad cross-product smoke test:
+// every application on every machine model, small scale, with the machine
+// invariant checker at the end.
+func TestAllAppsAllModelsIntegration(t *testing.T) {
+	for _, app := range Apps() {
+		w := Build(Params{App: app, Threads: 4, Nodes: 4, Scale: 0.2, Seed: 11})
+		for _, model := range machine.Models() {
+			m := machine.New(machine.Config{Model: model, Nodes: 4, AppThreads: 1})
+			Attach(m, w)
+			if _, done := m.Run(20_000_000); !done {
+				t.Fatalf("%v on %v did not complete", app, model)
+			}
+			if err := m.CheckCoherence(); err != nil {
+				t.Fatalf("%v on %v: %v", app, model, err)
+			}
+		}
+	}
+}
+
+// TestLU8n4wRegression pins the fetch livelock once hit at 4-way: threads
+// whose code lines conflict in one I-cache set must still make fetch
+// progress (the per-thread fetch-stream buffer guarantees it).
+func TestLU8n4wRegression(t *testing.T) {
+	w := Build(Params{App: LU, Threads: 32, Nodes: 8, Scale: 0.5, Seed: 43, SizeFor: 32})
+	m := machine.New(machine.Config{Model: machine.SMTp, Nodes: 8, AppThreads: 4})
+	Attach(m, w)
+	if _, done := m.Run(30_000_000); !done {
+		t.Fatal("LU 8-node 4-way livelocked")
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"testing"
+
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/isa"
+	"smtpsim/internal/machine"
+)
+
+func params(a App, threads, nodes int) Params {
+	return Params{App: a, Threads: threads, Nodes: nodes, Scale: 1, Seed: 42}
+}
+
+func TestBuildAllApps(t *testing.T) {
+	for _, a := range Apps() {
+		w := Build(params(a, 4, 4))
+		if len(w.Streams) != 4 {
+			t.Fatalf("%v: %d streams, want 4", a, len(w.Streams))
+		}
+		if w.TotalInstructions() < 1000 {
+			t.Fatalf("%v: only %d instructions", a, w.TotalInstructions())
+		}
+		for g, s := range w.Streams {
+			if len(s) == 0 {
+				t.Fatalf("%v: thread %d has no work", a, g)
+			}
+		}
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	for _, a := range Apps() {
+		w1 := Build(params(a, 2, 2))
+		w2 := Build(params(a, 2, 2))
+		if w1.TotalInstructions() != w2.TotalInstructions() {
+			t.Fatalf("%v: nondeterministic build", a)
+		}
+		for g := range w1.Streams {
+			for i := range w1.Streams[g] {
+				if w1.Streams[g][i] != w2.Streams[g][i] {
+					t.Fatalf("%v: stream %d instr %d differs", a, g, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamsWellFormed(t *testing.T) {
+	for _, a := range Apps() {
+		w := Build(params(a, 4, 4))
+		for g, s := range w.Streams {
+			for i := range s {
+				in := &s[i]
+				if in.PC < addrmap.AppCodeBase {
+					t.Fatalf("%v thread %d: PC %#x below the app code region", a, g, in.PC)
+				}
+				if in.Op.IsMem() && !in.Op.IsUncached() {
+					if !addrmap.IsAppData(in.Addr) {
+						t.Fatalf("%v thread %d: memory op to non-data address %#x", a, g, in.Addr)
+					}
+				}
+				if in.Op == isa.OpBranch && in.Taken && in.Target == 0 {
+					t.Fatalf("%v thread %d: taken branch without target", a, g)
+				}
+				if in.Dst.IsFP() && !in.Op.IsFPOp() && in.Op != isa.OpLoad {
+					t.Fatalf("%v thread %d: FP destination on %v", a, g, in.Op)
+				}
+			}
+		}
+	}
+}
+
+func TestBarriersBalanced(t *testing.T) {
+	// Every thread must pass every barrier instance the same number of
+	// times or the machine hangs.
+	for _, a := range Apps() {
+		w := Build(params(a, 4, 2))
+		counts := make([]map[uint64]int, 4)
+		for g, s := range w.Streams {
+			counts[g] = map[uint64]int{}
+			for i := range s {
+				if s[i].Op == isa.OpSyncWait && s[i].SyncTok&(0xF<<60) == machine.SyncBarrier {
+					counts[g][s[i].SyncTok]++
+				}
+			}
+		}
+		for g := 1; g < 4; g++ {
+			if len(counts[g]) != len(counts[0]) {
+				t.Fatalf("%v: thread %d passes %d barrier instances, thread 0 passes %d",
+					a, g, len(counts[g]), len(counts[0]))
+			}
+			for tok := range counts[0] {
+				if counts[g][tok] != 1 {
+					t.Fatalf("%v: thread %d barrier token %#x count %d", a, g, tok, counts[g][tok])
+				}
+			}
+		}
+	}
+}
+
+func TestLocksBalanced(t *testing.T) {
+	for _, a := range Apps() {
+		w := Build(params(a, 4, 2))
+		for g, s := range w.Streams {
+			acq, rel := 0, 0
+			for i := range s {
+				if s[i].Op == isa.OpSyncWait {
+					switch s[i].SyncTok & (0xF << 60) {
+					case machine.SyncLockAcq:
+						acq++
+					case machine.SyncLockRel:
+						rel++
+					}
+				}
+			}
+			if acq != rel {
+				t.Fatalf("%v thread %d: %d acquires vs %d releases", a, g, acq, rel)
+			}
+		}
+	}
+}
+
+func TestLoopPCsStable(t *testing.T) {
+	// A loop body must reuse the same PCs on every iteration (predictor and
+	// I-cache realism).
+	w := Build(params(FFT, 2, 2))
+	pcCount := map[uint64]int{}
+	for i := range w.Streams[0] {
+		pcCount[w.Streams[0][i].PC]++
+	}
+	repeated := 0
+	for _, c := range pcCount {
+		if c > 1 {
+			repeated++
+		}
+	}
+	if repeated < 10 {
+		t.Fatalf("expected loopy code; only %d repeated PCs", repeated)
+	}
+}
+
+func TestCommunicationSignatures(t *testing.T) {
+	// Compute-to-memory ratios must separate the compute-intensive
+	// applications (LU, Water) from the memory-intensive ones (the paper's
+	// two categories, §4.1).
+	ratio := func(a App) float64 {
+		w := Build(params(a, 4, 4))
+		var mem, fp int
+		for _, s := range w.Streams {
+			for i := range s {
+				switch {
+				case s[i].Op.IsMem():
+					mem++
+				case s[i].Op.IsFPOp():
+					fp++
+				}
+			}
+		}
+		return float64(fp) / float64(maxInt(mem, 1))
+	}
+	for _, heavy := range []App{LU, Water} {
+		for _, light := range []App{FFT, Radix} {
+			if ratio(heavy) <= ratio(light) {
+				t.Fatalf("%v (%.2f) must be more compute-intensive than %v (%.2f)",
+					heavy, ratio(heavy), light, ratio(light))
+			}
+		}
+	}
+}
+
+func TestRemoteTrafficExists(t *testing.T) {
+	// Each app must touch lines homed at other nodes (the DSM is pointless
+	// otherwise). Approximate by checking a thread accesses addresses in
+	// other threads' placed partitions.
+	for _, a := range Apps() {
+		w := Build(params(a, 4, 4))
+		myRanges := map[int][][2]uint64{}
+		for i, pl := range w.Places {
+			_ = i
+			myRanges[pl.Home] = append(myRanges[pl.Home], [2]uint64{pl.Addr, pl.Addr + pl.Size})
+		}
+		remote := 0
+		s := w.Streams[0] // thread 0 lives on node 0
+		for i := range s {
+			if !s[i].Op.IsMem() || s[i].Addr == 0 {
+				continue
+			}
+			for home, ranges := range myRanges {
+				if home == 0 {
+					continue
+				}
+				for _, r := range ranges {
+					if s[i].Addr >= r[0] && s[i].Addr < r[1] {
+						remote++
+					}
+				}
+			}
+		}
+		if remote == 0 {
+			t.Fatalf("%v: thread 0 never touches remote data", a)
+		}
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	small := Build(Params{App: FFT, Threads: 2, Nodes: 2, Scale: 1, Seed: 1})
+	big := Build(Params{App: FFT, Threads: 2, Nodes: 2, Scale: 4, Seed: 1})
+	if big.TotalInstructions() <= small.TotalInstructions() {
+		t.Fatal("Scale must grow the instruction count")
+	}
+}
+
+func TestAttachRunsOnMachine(t *testing.T) {
+	w := Build(params(Water, 2, 2))
+	m := machine.New(machine.Config{Model: machine.SMTp, Nodes: 2, AppThreads: 1})
+	Attach(m, w)
+	_, done := m.Run(20_000_000)
+	if !done {
+		t.Fatal("Water did not complete on a 2-node SMTp machine")
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatalf("coherence: %v", err)
+	}
+	for g := 0; g < 2; g++ {
+		if m.Nodes[g].Pipe.Retired[0] == 0 {
+			t.Fatalf("thread %d retired nothing", g)
+		}
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := NewSliceSource([]isa.Instr{{Op: isa.OpNop}, {Op: isa.OpIntALU}})
+	if s.Done() || s.Peek() == nil {
+		t.Fatal("fresh source must have work")
+	}
+	s.Advance()
+	s.Advance()
+	if !s.Done() || s.Peek() != nil {
+		t.Fatal("exhausted source must be done")
+	}
+}
