@@ -1,0 +1,33 @@
+# Developer / CI entry points. `make check` is the full gate:
+# formatting, vet, build, the unit/integration suite, and the parallel
+# runner under the race detector.
+
+GO ?= go
+
+.PHONY: all build test vet fmt test-race check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The runner fans simulations out across goroutines; run its tests (and the
+# public-API batch test) under the race detector.
+test-race:
+	$(GO) test -race -run 'Runner|RunContext|Validate|SuiteParallel' ./internal/core/...
+	$(GO) test -race -run 'PublicAPI' .
+
+# gofmt as a failing check (CI-style: lists offending files and exits 1).
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: fmt vet build test test-race

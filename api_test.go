@@ -1,0 +1,64 @@
+// External-style exercise of the public smtpsim package: everything here
+// goes through the root facade only, the way an importer outside this
+// module would use the library.
+package smtpsim_test
+
+import (
+	"context"
+	"testing"
+
+	"smtpsim"
+)
+
+func TestPublicAPISingleRun(t *testing.T) {
+	cfg := smtpsim.Config{
+		Model: smtpsim.SMTp, App: smtpsim.Water,
+		Nodes: 2, AppThreads: 1, Scale: 0.25, Seed: 11,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	res := smtpsim.RunContext(context.Background(), cfg)
+	if res.Err != nil || !res.Completed {
+		t.Fatalf("run failed: err=%v completed=%v", res.Err, res.Completed)
+	}
+	if res.Cycles == 0 || res.RetiredApp == 0 || res.WallTime <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+func TestPublicAPIValidationAndEnums(t *testing.T) {
+	if err := (smtpsim.Config{Nodes: 3}).Validate(); err == nil {
+		t.Fatal("3 nodes must be rejected")
+	}
+	if got := len(smtpsim.Models()); got != 5 {
+		t.Fatalf("want 5 models, got %d", got)
+	}
+	if got := len(smtpsim.Apps()); got != 6 {
+		t.Fatalf("want 6 apps, got %d", got)
+	}
+}
+
+func TestPublicAPIRunnerBatch(t *testing.T) {
+	var jobs []smtpsim.Job
+	for _, m := range []smtpsim.Model{smtpsim.Base, smtpsim.SMTp} {
+		jobs = append(jobs, smtpsim.Job{Cfg: smtpsim.Config{
+			Model: m, App: smtpsim.LU, Nodes: 2, Scale: 0.25, Seed: 11,
+		}})
+	}
+	var done int
+	r := smtpsim.Runner{Workers: 2, OnProgress: func(p smtpsim.Progress) { done = p.Done }}
+	results := r.RunBatch(context.Background(), jobs)
+	if len(results) != 2 || done != 2 {
+		t.Fatalf("batch incomplete: %d results, %d progress", len(results), done)
+	}
+	for i, res := range results {
+		if res.Err != nil || !res.Completed {
+			t.Fatalf("job %d failed: %v", i, res.Err)
+		}
+	}
+	if results[0].Cycles <= results[1].Cycles {
+		t.Fatalf("SMTp (%d cycles) should beat Base (%d cycles) on LU",
+			results[1].Cycles, results[0].Cycles)
+	}
+}

@@ -3,6 +3,11 @@
 // paper's layout. Machine sizes and the problem scale are flags so the full
 // sweep can be shrunk for a quick look or expanded toward paper sizes.
 //
+// Independent runs inside each experiment fan out over -workers concurrent
+// simulations (default: GOMAXPROCS). Tables and figures go to stdout and
+// are byte-identical for every worker count; progress and timing go to
+// stderr. Ctrl-C cancels in-flight simulations.
+//
 // Absolute numbers will not match the paper (the substrate is this
 // simulator, not the authors' testbed, and problem sizes are scaled); the
 // shapes — who wins, by roughly what factor, where the categories fall —
@@ -10,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"smtpsim/internal/core"
@@ -22,22 +30,51 @@ import (
 
 func main() {
 	var (
-		csvDir = flag.String("csv", "", "also write each experiment as CSV into this directory")
-		scale  = flag.Float64("scale", 0.5, "problem-size multiplier for every experiment")
-		seed   = flag.Uint64("seed", 42, "workload seed")
-		small  = flag.Int("small", 4, "node count standing in for the paper's 16-node machine")
-		medium = flag.Int("medium", 8, "node count standing in for the paper's 32-node machine")
-		eight  = flag.Int("eight", 8, "node count for the clock-scaling study (paper: 8)")
-		full   = flag.Bool("full", false, "run at the paper's machine sizes (16/32/8 nodes)")
-		only   = flag.String("only", "", "run a single experiment: t5,t6,t7,t8,t9,f2..f11")
+		csvDir  = flag.String("csv", "", "also write each experiment as CSV into this directory")
+		scale   = flag.Float64("scale", 0.5, "problem-size multiplier for every experiment")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		small   = flag.Int("small", 4, "node count standing in for the paper's 16-node machine")
+		medium  = flag.Int("medium", 8, "node count standing in for the paper's 32-node machine")
+		eight   = flag.Int("eight", 8, "node count for the clock-scaling study (paper: 8)")
+		full    = flag.Bool("full", false, "run at the paper's machine sizes (16/32/8 nodes)")
+		only    = flag.String("only", "", "run a single experiment: t5,t6,t7,t8,t9,f2..f11")
+		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS)")
+		quiet   = flag.Bool("quiet", false, "suppress the stderr progress line")
 	)
 	flag.Parse()
 
 	if *full {
 		*small, *medium, *eight = 16, 32, 8
 	}
-	s := core.Suite{CPUGHz: 2, Scale: *scale, Seed: *seed}
-	s4 := core.Suite{CPUGHz: 4, Scale: *scale, Seed: *seed}
+	for _, n := range []int{*small, *medium, *eight} {
+		if err := (core.Config{Nodes: n, Scale: *scale}).Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	progress := func(name string) core.ProgressFunc {
+		if *quiet {
+			return nil
+		}
+		return func(p core.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d (%v/%v)      ",
+				name, p.Done, p.Total, p.Result.Cfg.App, p.Result.Cfg.Model)
+		}
+	}
+	suite := func(name string, ghz float64) core.Suite {
+		return core.Suite{
+			CPUGHz: ghz, Scale: *scale, Seed: *seed,
+			Workers: *workers, Ctx: ctx, Progress: progress(name),
+		}
+	}
 
 	want := func(name string) bool { return *only == "" || *only == name }
 	type csvable interface{ CSV(io.Writer) error }
@@ -56,74 +93,91 @@ func main() {
 			fmt.Fprintln(os.Stderr, "csv:", err)
 		}
 	}
-	section := func(name, title string, fn func() (string, csvable)) {
-		if !want(name) {
+	startAll := time.Now()
+	section := func(name, title string, fn func(s core.Suite) (string, csvable)) {
+		if !want(name) || ctx.Err() != nil {
 			return
 		}
 		start := time.Now()
-		out, v := fn()
+		out, v := fn(suite(name, 2))
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "\r%s: interrupted\n", name)
+			return
+		}
 		emitCSV(name, v)
-		fmt.Printf("=== %s: %s\n%s(%s)\n\n", name, title, out, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("=== %s: %s\n%s\n", name, title, out)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r%s: done in %s                    \n",
+				name, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
-	section("t5", "Table 5 — speedup in Base", func() (string, csvable) {
+	section("t5", "Table 5 — speedup in Base", func(s core.Suite) (string, csvable) {
 		v := s.RunSpeedup(core.Base, *small, []int{1, 2, 4})
 		return v.Render(), v
 	})
-	section("t6", "Table 6 — speedup in SMTp", func() (string, csvable) {
+	section("t6", "Table 6 — speedup in SMTp", func(s core.Suite) (string, csvable) {
 		v := s.RunSpeedup(core.SMTp, *small, []int{1, 2, 4})
 		return v.Render(), v
 	})
-	section("f2", "Figure 2 — single node, 1-way", func() (string, csvable) {
+	section("f2", "Figure 2 — single node, 1-way", func(s core.Suite) (string, csvable) {
 		v := s.RunFigure("Normalized execution time", 1, 1)
 		return v.Render(), v
 	})
-	section("f3", "Figure 3 — single node, 2-way", func() (string, csvable) {
+	section("f3", "Figure 3 — single node, 2-way", func(s core.Suite) (string, csvable) {
 		v := s.RunFigure("Normalized execution time", 1, 2)
 		return v.Render(), v
 	})
-	section("f4", "Figure 4 — single node, 4-way", func() (string, csvable) {
+	section("f4", "Figure 4 — single node, 4-way", func(s core.Suite) (string, csvable) {
 		v := s.RunFigure("Normalized execution time", 1, 4)
 		return v.Render(), v
 	})
-	section("f5", "Figure 5 — 16 nodes, 1-way", func() (string, csvable) {
+	section("f5", "Figure 5 — 16 nodes, 1-way", func(s core.Suite) (string, csvable) {
 		v := s.RunFigure("Normalized execution time", *small, 1)
 		return v.Render(), v
 	})
-	section("f6", "Figure 6 — 16 nodes, 2-way", func() (string, csvable) {
+	section("f6", "Figure 6 — 16 nodes, 2-way", func(s core.Suite) (string, csvable) {
 		v := s.RunFigure("Normalized execution time", *small, 2)
 		return v.Render(), v
 	})
-	section("f7", "Figure 7 — 16 nodes, 4-way", func() (string, csvable) {
+	section("f7", "Figure 7 — 16 nodes, 4-way", func(s core.Suite) (string, csvable) {
 		v := s.RunFigure("Normalized execution time", *small, 4)
 		return v.Render(), v
 	})
-	section("f8", "Figure 8 — 32 nodes, 1-way", func() (string, csvable) {
+	section("f8", "Figure 8 — 32 nodes, 1-way", func(s core.Suite) (string, csvable) {
 		v := s.RunFigure("Normalized execution time", *medium, 1)
 		return v.Render(), v
 	})
-	section("f9", "Figure 9 — 32 nodes, 2-way", func() (string, csvable) {
+	section("f9", "Figure 9 — 32 nodes, 2-way", func(s core.Suite) (string, csvable) {
 		v := s.RunFigure("Normalized execution time", *medium, 2)
 		return v.Render(), v
 	})
-	section("t7", "Table 7 — protocol occupancy", func() (string, csvable) {
+	section("t7", "Table 7 — protocol occupancy", func(s core.Suite) (string, csvable) {
 		v := s.RunOccupancy(*small)
 		return v.Render(), v
 	})
-	section("t8", "Table 8 — protocol thread characteristics", func() (string, csvable) {
+	section("t8", "Table 8 — protocol thread characteristics", func(s core.Suite) (string, csvable) {
 		v := s.RunProtoChar(*small)
 		return v.Render(), v
 	})
-	section("t9", "Table 9 — protocol thread resource occupancy", func() (string, csvable) {
+	section("t9", "Table 9 — protocol thread resource occupancy", func(s core.Suite) (string, csvable) {
 		v := s.RunResource(*small)
 		return v.Render(), v
 	})
-	section("f10", "Figure 10 — 8 nodes, 1-way, 4 GHz", func() (string, csvable) {
-		v := s4.RunFigure("Normalized execution time", *eight, 1)
-		return v.Render(), v
-	})
-	section("f11", "Figure 11 — 8 nodes, 1-way, 2 GHz", func() (string, csvable) {
+	section("f10", "Figure 10 — 8 nodes, 1-way, 4 GHz", func(s core.Suite) (string, csvable) {
+		s.CPUGHz = 4
 		v := s.RunFigure("Normalized execution time", *eight, 1)
 		return v.Render(), v
 	})
+	section("f11", "Figure 11 — 8 nodes, 1-way, 2 GHz", func(s core.Suite) (string, csvable) {
+		v := s.RunFigure("Normalized execution time", *eight, 1)
+		return v.Render(), v
+	})
+
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "paperbench: interrupted")
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "paperbench: total %s with %d workers\n",
+		time.Since(startAll).Round(time.Millisecond), nWorkers)
 }

@@ -1,5 +1,7 @@
 // Command smtpsim runs a single DSM configuration — one machine model, one
 // application, one machine size — and prints the paper's metrics for it.
+// Ctrl-C cancels the simulation (exit 130); invalid flag combinations are
+// rejected before anything runs.
 //
 // Example:
 //
@@ -7,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"smtpsim/internal/core"
 	"smtpsim/internal/pipeline"
@@ -71,7 +77,23 @@ func main() {
 	if !*las {
 		cfg.PipeTweak = func(pc *pipeline.Config) { pc.LAS = false }
 	}
-	res := core.Run(cfg)
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res := core.RunContext(ctx, cfg)
+	if errors.Is(res.Err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "interrupted after %d simulated cycles (%s wall)\n",
+			res.Cycles, res.WallTime.Round(time.Millisecond))
+		os.Exit(130)
+	}
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, res.Err)
+		os.Exit(1)
+	}
 	if !res.Completed {
 		fmt.Fprintf(os.Stderr, "run did not complete within the cycle budget (%d cycles elapsed)\n", res.Cycles)
 		os.Exit(1)
@@ -84,6 +106,8 @@ func main() {
 	fmt.Printf("%v / %v, %d nodes x %d-way @ %.0f GHz (scale %.2f)\n",
 		model, app, *nodes, *way, *ghz, *scale)
 	fmt.Printf("  execution time:        %d cycles\n", res.Cycles)
+	fmt.Printf("  host:                  %s wall, %.1f Mcycles/s\n",
+		res.WallTime.Round(time.Millisecond), res.CyclesPerSec/1e6)
 	fmt.Printf("  memory stall fraction: %.3f (non-memory %.3f)\n", res.MemStallFrac, res.NonMemFrac)
 	fmt.Printf("  retired: %d application + %d protocol instructions\n", res.RetiredApp, res.RetiredProto)
 	fmt.Printf("  protocol occupancy:    peak %.2f%% of execution\n", 100*res.ProtoOccupancyPeak)

@@ -6,7 +6,11 @@
 // bristled-hypercube interconnect, and the six applications of the paper's
 // evaluation.
 //
-// Use internal/core as the entry point (see examples/quickstart), or the
-// cmd/smtpsim and cmd/paperbench binaries. bench_test.go in this directory
-// holds one benchmark per paper table and figure.
+// This root package is the public API (see examples/quickstart): Config
+// (with Validate), Run and RunContext (context cancellation, partial
+// results), the Runner worker pool that fans independent simulations out
+// across the host's cores with deterministic index-keyed results, and the
+// Suite experiment drivers. internal/core is the implementation; the
+// cmd/smtpsim and cmd/paperbench binaries wrap it. bench_test.go in this
+// directory holds one benchmark per paper table and figure.
 package smtpsim

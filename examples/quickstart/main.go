@@ -1,26 +1,34 @@
 // Quickstart: build a 4-node SMTp machine, run the FFT workload on it, and
 // print the headline numbers. This is the smallest end-to-end use of the
-// library's public API (internal/core).
+// library's public API (the root smtpsim package).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"smtpsim/internal/core"
+	"smtpsim"
 )
 
 func main() {
-	cfg := core.Config{
-		Model:      core.SMTp, // SMT processor + protocol thread + standard MC
-		App:        core.FFT,
+	cfg := smtpsim.Config{
+		Model:      smtpsim.SMTp, // SMT processor + protocol thread + standard MC
+		App:        smtpsim.FFT,
 		Nodes:      4,
 		AppThreads: 2, // two application threads per node
 		CPUGHz:     2,
 		Scale:      0.5,
 		Seed:       1,
 	}
-	res := core.Run(cfg)
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("bad config: %v", err)
+	}
+	res := smtpsim.RunContext(context.Background(), cfg)
+	if res.Err != nil {
+		log.Fatalf("run failed: %v", res.Err)
+	}
 	if !res.Completed {
 		log.Fatal("run did not complete")
 	}
@@ -36,5 +44,7 @@ func main() {
 		res.RetiredApp, res.RetiredProto)
 	fmt.Printf("  protocol thread peak occupancy: %.1f%% of execution\n",
 		100*res.ProtoOccupancyPeak)
+	fmt.Printf("  simulated %.1f Mcycles/s of host time (%s wall)\n",
+		res.CyclesPerSec/1e6, res.WallTime.Round(time.Millisecond))
 	fmt.Printf("  coherence verified: every cached line consistent with its home directory\n")
 }

@@ -8,7 +8,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math/bits"
+	"runtime"
+	"time"
 
 	"smtpsim/internal/coherence"
 	"smtpsim/internal/machine"
@@ -69,7 +73,48 @@ type Config struct {
 	Protocol *coherence.Table
 }
 
-func (c Config) withDefaults() Config {
+// Validate reports whether the configuration describes a machine the
+// simulator can build. Zero values are legal (they select the documented
+// defaults); non-zero values must be exact: the paper's node counts are
+// powers of two (the bristled hypercube has no other shape), nodes run 1,
+// 2 or 4 application threads ("n-way"), and the problem-size multiplier
+// must be positive.
+func (c Config) Validate() error {
+	if int(c.App) < 0 || int(c.App) >= int(workload.NumApps) {
+		return fmt.Errorf("config: unknown app %d", int(c.App))
+	}
+	if int(c.Model) < 0 || int(c.Model) > int(SMTp) {
+		return fmt.Errorf("config: unknown model %d", int(c.Model))
+	}
+	if c.Nodes < 0 || c.Nodes > 1024 {
+		return fmt.Errorf("config: node count %d out of range (1..1024)", c.Nodes)
+	}
+	if c.Nodes != 0 && bits.OnesCount(uint(c.Nodes)) != 1 {
+		return fmt.Errorf("config: node count %d is not a power of two", c.Nodes)
+	}
+	switch c.AppThreads {
+	case 0, 1, 2, 4:
+	default:
+		return fmt.Errorf("config: %d application threads per node (want 1, 2 or 4)", c.AppThreads)
+	}
+	if c.CPUGHz < 0 {
+		return fmt.Errorf("config: negative clock %v GHz", c.CPUGHz)
+	}
+	if c.Scale < 0 {
+		return fmt.Errorf("config: negative problem scale %v", c.Scale)
+	}
+	if c.SizeFor < 0 {
+		return fmt.Errorf("config: negative SizeFor %d", c.SizeFor)
+	}
+	return nil
+}
+
+// withDefaults validates c and fills the documented defaults for zero
+// fields. Invalid non-zero values are an error, never silently corrected.
+func (c Config) withDefaults() (Config, error) {
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
 	if c.Nodes == 0 {
 		c.Nodes = 1
 	}
@@ -85,7 +130,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 300_000_000
 	}
-	return c
+	return c, nil
 }
 
 // Result carries every metric a run produces.
@@ -93,6 +138,21 @@ type Result struct {
 	Cfg       Config
 	Completed bool
 	Cycles    sim.Cycle
+
+	// Err is set when the run could not execute: the configuration failed
+	// validation, the run panicked inside a Runner batch, or the context
+	// was cancelled (in which case the counters below describe the partial
+	// run). A Result with Err != nil never has Completed == true.
+	Err error
+
+	// Observability (not part of the simulated outcome and therefore
+	// excluded from determinism comparisons): host wall time of the run,
+	// simulation throughput, and a peak-RSS-style footprint signal (the Go
+	// heap in use when the run finished; process-wide, so concurrent batch
+	// runs share it).
+	WallTime       time.Duration
+	CyclesPerSec   float64
+	HeapInuseBytes uint64
 
 	// Execution-time split (averaged over application threads).
 	MemStallFrac float64
@@ -135,9 +195,13 @@ type OccPair struct {
 func (o OccPair) String() string { return fmt.Sprintf("%d, %.0f", o.Peak, o.Mean) }
 
 // BuildWorkload constructs the application for a config (exported so a
-// suite can share one workload across the five models).
+// suite can share one workload across the five models). An invalid config
+// panics; call Validate first when the config is untrusted.
 func BuildWorkload(cfg Config) *workload.Workload {
-	cfg = cfg.withDefaults()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		panic("core: " + err.Error())
+	}
 	return workload.Build(workload.Params{
 		App:     cfg.App,
 		Threads: cfg.Nodes * cfg.AppThreads,
@@ -150,12 +214,37 @@ func BuildWorkload(cfg Config) *workload.Workload {
 
 // Run builds the machine and workload and runs to completion.
 func Run(cfg Config) *Result {
-	return RunWorkload(cfg, BuildWorkload(cfg))
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext builds the machine and workload and runs to completion or
+// cancellation. The machine polls ctx roughly every million simulated
+// cycles; on cancellation the Result carries the partial counters with
+// Completed == false and Err == ctx.Err(). A config that fails Validate
+// returns immediately with Err set.
+func RunContext(ctx context.Context, cfg Config) *Result {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return &Result{Cfg: cfg, Err: err}
+	}
+	return RunWorkloadContext(ctx, c, BuildWorkload(c))
 }
 
 // RunWorkload runs a pre-built workload on a fresh machine.
 func RunWorkload(cfg Config, w *workload.Workload) *Result {
-	cfg = cfg.withDefaults()
+	return RunWorkloadContext(context.Background(), cfg, w)
+}
+
+// RunWorkloadContext runs a pre-built workload on a fresh machine under a
+// context. The workload is only read, so the same *Workload may back many
+// concurrent runs (that is how a Runner shares one application across the
+// five machine models).
+func RunWorkloadContext(ctx context.Context, cfg Config, w *workload.Workload) *Result {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return &Result{Cfg: cfg, Err: err}
+	}
+	start := time.Now()
 	m := machine.New(machine.Config{
 		Model:      cfg.Model,
 		Nodes:      cfg.Nodes,
@@ -165,8 +254,25 @@ func RunWorkload(cfg Config, w *workload.Workload) *Result {
 		Protocol:   cfg.Protocol,
 	})
 	workload.Attach(m, w)
-	cycles, done := m.Run(cfg.MaxCycles)
-	return harvest(cfg, m, cycles, done)
+	cycles, done := m.RunContext(ctx, cfg.MaxCycles)
+	r := harvest(cfg, m, cycles, done)
+	if !done && ctx.Err() != nil {
+		r.Err = ctx.Err()
+	}
+	observe(r, start)
+	return r
+}
+
+// observe fills the Result's host-side observability fields: wall time,
+// simulated-cycles-per-second throughput, and the heap footprint.
+func observe(r *Result, start time.Time) {
+	r.WallTime = time.Since(start)
+	if s := r.WallTime.Seconds(); s > 0 {
+		r.CyclesPerSec = float64(r.Cycles) / s
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.HeapInuseBytes = ms.HeapInuse
 }
 
 func harvest(cfg Config, m *machine.Machine, cycles sim.Cycle, done bool) *Result {

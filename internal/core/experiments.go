@@ -1,19 +1,36 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+
+	"smtpsim/internal/sim"
 )
 
 // Suite holds the common knobs for reproducing the paper's experiments.
 // Nodes counts and scale are parameters so tests can run shrunken versions
 // of the same experiment code that cmd/paperbench runs at paper sizes.
+//
+// Every driver fans its independent runs out over a Runner worker pool;
+// results are reassembled by job index, so the rendered tables are
+// byte-identical whatever Workers is set to.
 type Suite struct {
 	CPUGHz float64
 	Scale  float64
 	Seed   uint64
 	// MaxCycles bounds each run; 0 = default.
 	MaxCycles uint64
+
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// Progress, when set, observes every finished run of every driver.
+	Progress ProgressFunc
+	// Ctx, when set, cancels in-flight runs in every driver (the drivers
+	// keep their simple signatures; this is the one escape hatch). A
+	// cancelled driver still returns its table shape, with the unfinished
+	// cells carrying failed Results.
+	Ctx context.Context
 }
 
 func (s Suite) cfg(model Model, app App, nodes, way int) Config {
@@ -25,7 +42,20 @@ func (s Suite) cfg(model Model, app App, nodes, way int) Config {
 		CPUGHz:     s.CPUGHz,
 		Scale:      s.Scale,
 		Seed:       s.Seed,
+		MaxCycles:  sim.Cycle(s.MaxCycles),
 	}
+}
+
+func (s Suite) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
+// batch runs jobs through the suite's worker pool.
+func (s Suite) batch(jobs []Job) []*Result {
+	return Runner{Workers: s.Workers, OnProgress: s.Progress}.RunBatch(s.ctx(), jobs)
 }
 
 // FigureCell is one bar of a normalized-execution-time figure.
@@ -50,21 +80,50 @@ type Figure struct {
 }
 
 // RunFigure produces the normalized-execution-time comparison for a
-// machine size (the paper's Figures 2-11).
+// machine size (the paper's Figures 2-11). The per-app Base run executes
+// first (it builds the shared workload and sets the normalization
+// denominator); the Base runs of all apps, and then the remaining four
+// models of every app, fan out over the suite's worker pool.
 func (s Suite) RunFigure(title string, nodes, way int) *Figure {
 	f := &Figure{Title: title, Nodes: nodes, Way: way, GHz: s.CPUGHz}
-	for _, app := range Apps() {
+	apps, models := Apps(), Models()
+
+	baseJobs := make([]Job, len(apps))
+	for i, app := range apps {
 		cfg := s.cfg(Base, app, nodes, way)
-		w := BuildWorkload(cfg)
-		var baseCycles float64
-		for _, model := range Models() {
-			c := cfg
-			c.Model = model
-			res := RunWorkload(c, w)
+		baseJobs[i] = Job{Cfg: cfg, Workload: BuildWorkload(cfg)}
+	}
+	baseRes := s.batch(baseJobs)
+
+	var restJobs []Job
+	for i, app := range apps {
+		for _, model := range models {
 			if model == Base {
-				baseCycles = float64(res.Cycles)
+				continue
 			}
-			norm := float64(res.Cycles) / baseCycles
+			cfg := s.cfg(model, app, nodes, way)
+			restJobs = append(restJobs, Job{Cfg: cfg, Workload: baseJobs[i].Workload})
+		}
+	}
+	restRes := s.batch(restJobs)
+
+	// Reassemble in the serial order: app-major, paper model order.
+	k := 0
+	for i, app := range apps {
+		baseCycles := float64(baseRes[i].Cycles)
+		for _, model := range models {
+			res := baseRes[i]
+			if model != Base {
+				res = restRes[k]
+				k++
+			}
+			var norm float64
+			if baseCycles > 0 {
+				// A cancelled or failed Base run has zero cycles; leave the
+				// app's cells at 0 (their Result.Err says why) rather than
+				// rendering NaN.
+				norm = float64(res.Cycles) / baseCycles
+			}
 			f.Cells = append(f.Cells, FigureCell{
 				App:      app,
 				Model:    model,
@@ -122,24 +181,35 @@ type SpeedupTable struct {
 	Incomplete []string
 }
 
-// RunSpeedup produces a speedup table.
+// RunSpeedup produces a speedup table. Every run — the single-node anchor
+// and each way count, for every app — is independent (the anchor only
+// enters the ratio after the fact), so the whole table is one batch.
 func (s Suite) RunSpeedup(model Model, nodes int, ways []int) *SpeedupTable {
 	t := &SpeedupTable{Model: model, Nodes: nodes, Ways: ways, Speedup: map[App][]float64{}}
 	maxWay := ways[len(ways)-1]
+	// Anchor the problem size to the largest configuration so every run
+	// solves the same problem.
+	sizeFor := nodes * maxWay
+	stride := 1 + len(ways) // per app: anchor then each way
+	var jobs []Job
 	for _, app := range Apps() {
-		// Anchor the problem size to the largest configuration so every
-		// run solves the same problem.
-		sizeFor := nodes * maxWay
 		base := s.cfg(model, app, 1, 1)
 		base.SizeFor = sizeFor
-		baseRes := Run(base)
-		if !baseRes.Completed {
-			t.Incomplete = append(t.Incomplete, fmt.Sprintf("%v 1n1w", app))
-		}
+		jobs = append(jobs, Job{Cfg: base})
 		for _, way := range ways {
 			c := s.cfg(model, app, nodes, way)
 			c.SizeFor = sizeFor
-			res := Run(c)
+			jobs = append(jobs, Job{Cfg: c})
+		}
+	}
+	results := s.batch(jobs)
+	for ai, app := range Apps() {
+		baseRes := results[ai*stride]
+		if !baseRes.Completed {
+			t.Incomplete = append(t.Incomplete, fmt.Sprintf("%v 1n1w", app))
+		}
+		for wi, way := range ways {
+			res := results[ai*stride+1+wi]
 			if !res.Completed {
 				t.Incomplete = append(t.Incomplete, fmt.Sprintf("%v %dn%dw", app, nodes, way))
 			}
@@ -189,14 +259,22 @@ func (s Suite) RunOccupancy(nodes int) *OccupancyTable {
 		Models:    []Model{Base, IntPerfect, Int512KB, SMTp},
 		Occupancy: map[App][]float64{},
 	}
+	var jobs []Job
 	for _, app := range Apps() {
 		cfg := s.cfg(Base, app, nodes, 1)
 		w := BuildWorkload(cfg)
 		for _, model := range t.Models {
 			c := cfg
 			c.Model = model
-			res := RunWorkload(c, w)
-			t.Occupancy[app] = append(t.Occupancy[app], 100*res.ProtoOccupancyPeak)
+			jobs = append(jobs, Job{Cfg: c, Workload: w})
+		}
+	}
+	results := s.batch(jobs)
+	k := 0
+	for _, app := range Apps() {
+		for range t.Models {
+			t.Occupancy[app] = append(t.Occupancy[app], 100*results[k].ProtoOccupancyPeak)
+			k++
 		}
 	}
 	return t
@@ -238,8 +316,9 @@ type ProtoCharTable struct {
 // RunProtoChar produces Table 8.
 func (s Suite) RunProtoChar(nodes int) *ProtoCharTable {
 	t := &ProtoCharTable{Nodes: nodes}
-	for _, app := range Apps() {
-		res := Run(s.cfg(SMTp, app, nodes, 1))
+	results := s.batch(s.smtpJobs(nodes))
+	for i, app := range Apps() {
+		res := results[i]
 		t.Rows = append(t.Rows, ProtoCharRow{
 			App:           app,
 			BrMispredRate: 100 * res.ProtoBrMispredRate,
@@ -248,6 +327,15 @@ func (s Suite) RunProtoChar(nodes int) *ProtoCharTable {
 		})
 	}
 	return t
+}
+
+// smtpJobs is the shared job list of Tables 8 and 9: one SMTp run per app.
+func (s Suite) smtpJobs(nodes int) []Job {
+	jobs := make([]Job, 0, len(Apps()))
+	for _, app := range Apps() {
+		jobs = append(jobs, Job{Cfg: s.cfg(SMTp, app, nodes, 1)})
+	}
+	return jobs
 }
 
 // Render formats Table 8.
@@ -278,8 +366,9 @@ type ResourceTable struct {
 // RunResource produces Table 9.
 func (s Suite) RunResource(nodes int) *ResourceTable {
 	t := &ResourceTable{Nodes: nodes}
-	for _, app := range Apps() {
-		res := Run(s.cfg(SMTp, app, nodes, 1))
+	results := s.batch(s.smtpJobs(nodes))
+	for i, app := range Apps() {
+		res := results[i]
 		t.Rows = append(t.Rows, ResourceRow{
 			App:     app,
 			BrStack: res.OccBrStack,

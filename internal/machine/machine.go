@@ -5,6 +5,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"smtpsim/internal/addrmap"
@@ -195,7 +196,27 @@ func (m *Machine) Done() bool {
 // Run steps the machine until completion or maxCycles, returning the cycle
 // count and whether it completed.
 func (m *Machine) Run(maxCycles sim.Cycle) (sim.Cycle, bool) {
+	return m.RunContext(context.Background(), maxCycles)
+}
+
+// ctxCheckBatches is how many 256-step event batches RunContext lets pass
+// between context polls. Simulated time advances slowly relative to host
+// time (well under 1M cycles/s on commodity hosts), so the poll interval
+// is denominated in engine batches, not simulated cycles: 64 batches is at
+// most ~1M simulated cycles but only ~16K engine steps, keeping
+// cancellation latency in the milliseconds while staying off the hot path.
+const ctxCheckBatches = 64
+
+// RunContext steps the machine until completion, maxCycles, or context
+// cancellation, whichever comes first. On cancellation it returns the
+// cycles simulated so far with done=false; the machine is left mid-flight
+// and must not be resumed.
+func (m *Machine) RunContext(ctx context.Context, maxCycles sim.Cycle) (sim.Cycle, bool) {
+	if ctx.Err() != nil {
+		return 0, false
+	}
 	start := m.Eng.Now()
+	batches := 0
 	for m.Eng.Now()-start < maxCycles {
 		// Check termination periodically (it walks all queues).
 		for i := 0; i < 256 && m.Eng.Now()-start < maxCycles; i++ {
@@ -203,6 +224,12 @@ func (m *Machine) Run(maxCycles sim.Cycle) (sim.Cycle, bool) {
 		}
 		if m.Done() {
 			return m.Eng.Now() - start, true
+		}
+		if batches++; batches >= ctxCheckBatches {
+			batches = 0
+			if ctx.Err() != nil {
+				return m.Eng.Now() - start, false
+			}
 		}
 	}
 	return m.Eng.Now() - start, m.Done()

@@ -205,8 +205,8 @@ type gen struct {
 
 func newGen(p Params, gtid int) *gen {
 	return &gen{
-		p:      p,
-		gtid:   gtid,
+		p:    p,
+		gtid: gtid,
 		// Stagger thread code so same-offset loop bodies do not alias in
 		// the I-cache sets (threads of a real program share one text
 		// segment; synthetic per-thread copies must not all map to set 0).

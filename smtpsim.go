@@ -1,0 +1,91 @@
+package smtpsim
+
+import (
+	"context"
+
+	"smtpsim/internal/core"
+)
+
+// The public facade: external importers use package smtpsim; internal/core
+// remains the implementation. Everything here is a re-export, so the
+// library API and the experiment drivers never diverge.
+
+// Core types.
+type (
+	// Config selects one run; see Config.Validate for the legal shapes.
+	Config = core.Config
+	// Result carries every metric a run produces, plus host-side
+	// observability (wall time, cycles/s, heap footprint) and Err for
+	// validation failures, cancellation, and recovered panics.
+	Result = core.Result
+	// OccPair is a (peak, mean-of-peaks) occupancy pair as in Table 9.
+	OccPair = core.OccPair
+	// Model is one of the paper's five machine models (Table 4).
+	Model = core.Model
+	// App is one of the paper's six applications (Table 1).
+	App = core.App
+)
+
+// Parallel experiment runner.
+type (
+	// Runner executes batches of independent simulations across a bounded
+	// worker pool with deterministic, index-keyed results.
+	Runner = core.Runner
+	// Job is one unit of work for a Runner.
+	Job = core.Job
+	// Progress describes one finished job of a batch.
+	Progress = core.Progress
+	// ProgressFunc observes batch progress.
+	ProgressFunc = core.ProgressFunc
+)
+
+// Experiment drivers and their table/figure types.
+type (
+	// Suite reproduces the paper's experiments (Figures 2-11, Tables 5-9).
+	Suite = core.Suite
+	// Figure is a normalized-execution-time comparison (Figures 2-11).
+	Figure = core.Figure
+	// FigureCell is one bar of a Figure.
+	FigureCell = core.FigureCell
+	// SpeedupTable reproduces Tables 5-6.
+	SpeedupTable = core.SpeedupTable
+	// OccupancyTable reproduces Table 7.
+	OccupancyTable = core.OccupancyTable
+	// ProtoCharTable reproduces Table 8.
+	ProtoCharTable = core.ProtoCharTable
+	// ResourceTable reproduces Table 9.
+	ResourceTable = core.ResourceTable
+)
+
+// The five machine models of Table 4.
+const (
+	Base       = core.Base
+	IntPerfect = core.IntPerfect
+	Int512KB   = core.Int512KB
+	Int64KB    = core.Int64KB
+	SMTp       = core.SMTp
+)
+
+// The six applications of Table 1.
+const (
+	FFT   = core.FFT
+	FFTW  = core.FFTW
+	LU    = core.LU
+	Ocean = core.Ocean
+	Radix = core.Radix
+	Water = core.Water
+)
+
+// Models lists the five machine models in paper order.
+func Models() []Model { return core.Models() }
+
+// Apps lists the six applications in paper order.
+func Apps() []App { return core.Apps() }
+
+// Run builds the machine and workload and runs to completion.
+func Run(cfg Config) *Result { return core.Run(cfg) }
+
+// RunContext is Run with cancellation: the machine polls ctx roughly every
+// million simulated cycles and returns a partial Result with
+// Completed == false (and Err == ctx.Err()) when cancelled.
+func RunContext(ctx context.Context, cfg Config) *Result { return core.RunContext(ctx, cfg) }
