@@ -1,10 +1,10 @@
 # Developer / CI entry points. `make check` is the full gate:
-# formatting, vet, build, the unit/integration suite, and the parallel
-# runner under the race detector.
+# formatting, vet, build, the unit/integration suite, the parallel
+# runner under the race detector, and the METRICS.md schema freshness.
 
 GO ?= go
 
-.PHONY: all build test vet fmt test-race check
+.PHONY: all build test vet fmt test-race metrics-schema metrics-schema-check check
 
 all: build
 
@@ -30,4 +30,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet build test test-race
+# Regenerate the metric-name table of METRICS.md from the registry.
+metrics-schema:
+	$(GO) run ./cmd/metricsdoc
+
+# Fail if METRICS.md has drifted from the registered metric names.
+metrics-schema-check:
+	$(GO) run ./cmd/metricsdoc -check
+
+check: fmt vet build test test-race metrics-schema-check

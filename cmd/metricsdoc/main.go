@@ -1,0 +1,210 @@
+// Command metricsdoc regenerates the metric-name table of METRICS.md from
+// the metrics registry itself, so the documented schema can never drift
+// from the code. It builds one SMTp and one Base machine (between them
+// every subsystem registers), flattens their registries, normalizes the
+// per-node and per-context indices (node3 -> node<i>, ctx1 -> ctx<t>), and
+// rewrites the block between the BEGIN/END GENERATED markers.
+//
+// The default mode rewrites METRICS.md in place; -check verifies the file
+// is current and exits 1 if it is stale (wired into `make metrics-schema`
+// and the `make check` gate).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+
+	"smtpsim/internal/machine"
+	"smtpsim/internal/stats"
+)
+
+const (
+	beginMarker = "<!-- BEGIN GENERATED: metric names (make metrics-schema) -->"
+	endMarker   = "<!-- END GENERATED -->"
+)
+
+var (
+	nodeRE = regexp.MustCompile(`^node[0-9]+\.`)
+	ctxRE  = regexp.MustCompile(`\.ctx[0-9]+\.`)
+)
+
+// normalize folds per-instance indices into the schema's placeholders.
+func normalize(name string) string {
+	name = nodeRE.ReplaceAllString(name, "node<i>.")
+	return ctxRE.ReplaceAllString(name, ".ctx<t>.")
+}
+
+// row is one schema entry of the generated table.
+type row struct {
+	name, kind, unit, subsystem, paper string
+}
+
+// collect builds representative machines and returns the normalized,
+// deduplicated schema rows.
+func collect() []row {
+	// SMTp registers the protocol-thread metrics (proto context, bypass
+	// buffers); Base registers the embedded protocol processor (pp.*).
+	// Two nodes and two app threads make the node<i>/ctx<t> folding
+	// observable; larger machines add no new names.
+	machines := []*machine.Machine{
+		machine.New(machine.Config{Model: machine.SMTp, Nodes: 2, AppThreads: 2}),
+		machine.New(machine.Config{Model: machine.Base, Nodes: 2, AppThreads: 2}),
+	}
+	seen := map[string]stats.Kind{}
+	for _, m := range machines {
+		for _, s := range m.Reg.Snapshot().Samples {
+			seen[normalize(s.Name)] = s.Kind
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([]row, len(names))
+	for i, n := range names {
+		rows[i] = row{
+			name:      n,
+			kind:      string(seen[n]),
+			unit:      unitOf(n),
+			subsystem: subsystemOf(n),
+			paper:     paperOf(n),
+		}
+	}
+	return rows
+}
+
+// unitOf derives the unit from the schema's naming conventions.
+func unitOf(name string) string {
+	base := name[strings.LastIndex(name, ".")+1:]
+	switch {
+	case strings.HasSuffix(base, "cycles") || base == "cycles":
+		return "cycles"
+	case strings.HasPrefix(base, "bytes") || strings.HasSuffix(base, "bytes"):
+		return "bytes"
+	case base == "max" || base == "mean":
+		return "entries"
+	case base == "samples":
+		return "samples"
+	case base == "in_flight" || base == "in_use" || base == "valid_lines":
+		return "entries"
+	case strings.HasSuffix(base, "spins"):
+		return "retries"
+	default:
+		return "events"
+	}
+}
+
+// subsystemOf maps a metric name to the package that registers it.
+func subsystemOf(name string) string {
+	switch {
+	case strings.HasPrefix(name, "net."):
+		return "network"
+	case strings.HasPrefix(name, "node<i>.mc."):
+		return "memctrl"
+	case strings.HasPrefix(name, "node<i>.dir."):
+		return "directory"
+	case strings.HasPrefix(name, "node<i>.pp."):
+		return "ppengine"
+	case strings.HasPrefix(name, "node<i>.pipe.bpred."),
+		strings.HasPrefix(name, "node<i>.pipe.btb."):
+		return "bpred"
+	case strings.HasPrefix(name, "node<i>.pipe.l1i."),
+		strings.HasPrefix(name, "node<i>.pipe.l1d."),
+		strings.HasPrefix(name, "node<i>.pipe.l2."),
+		strings.HasPrefix(name, "node<i>.pipe.ibyp."),
+		strings.HasPrefix(name, "node<i>.pipe.dbyp."),
+		strings.HasPrefix(name, "node<i>.pipe.l2byp."),
+		strings.HasPrefix(name, "node<i>.pipe.mshr."):
+		return "cache"
+	case strings.HasPrefix(name, "node<i>.pipe."):
+		return "pipeline"
+	default:
+		return "node"
+	}
+}
+
+// paperOf maps a metric to the paper table or figure it feeds (through
+// core.harvest); "—" marks supporting metrics with no direct cell.
+func paperOf(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".mem_stall_cycles"), name == "node<i>.pipe.cycles":
+		return "Figs 2–11"
+	case strings.HasPrefix(name, "node<i>.pipe.ctx<t>.retired"):
+		return "Tables 5–6, 8"
+	case name == "node<i>.pipe.proto.active_cycles", name == "node<i>.pp.busy_cycles":
+		return "Table 7"
+	case strings.HasPrefix(name, "node<i>.pipe.proto.occ."):
+		return "Table 9"
+	case strings.HasPrefix(name, "node<i>.pipe.proto.br_"),
+		name == "node<i>.pipe.proto.squash_cycles",
+		name == "node<i>.pipe.proto.retired",
+		name == "node<i>.pp.retired":
+		return "Table 8"
+	case name == "node<i>.mc.dispatched", strings.HasPrefix(name, "node<i>.mc.dispatch."):
+		return "Table 7"
+	case name == "node<i>.pipe.proto.lookahead_starts",
+		name == "node<i>.pipe.mem.bypass_fills":
+		return "§2.2 mechanisms"
+	default:
+		return "—"
+	}
+}
+
+// render produces the generated block, markers included.
+func render(rows []row) string {
+	var b strings.Builder
+	b.WriteString(beginMarker + "\n")
+	fmt.Fprintf(&b, "\n%d metric names. `node<i>` ranges over the machine's nodes; `ctx<t>`\nover the application hardware contexts of a pipeline.\n\n", len(rows))
+	b.WriteString("| Name | Kind | Unit | Subsystem | Paper |\n")
+	b.WriteString("|------|------|------|-----------|-------|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s |\n", r.name, r.kind, r.unit, r.subsystem, r.paper)
+	}
+	b.WriteString("\n" + endMarker)
+	return b.String()
+}
+
+func main() {
+	check := flag.Bool("check", false, "verify METRICS.md is current; exit 1 if stale")
+	path := flag.String("file", "METRICS.md", "file holding the generated block")
+	flag.Parse()
+
+	old, err := os.ReadFile(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricsdoc:", err)
+		os.Exit(2)
+	}
+	begin := bytes.Index(old, []byte(beginMarker))
+	end := bytes.Index(old, []byte(endMarker))
+	if begin < 0 || end < begin {
+		fmt.Fprintf(os.Stderr, "metricsdoc: %s lacks the BEGIN/END GENERATED markers\n", *path)
+		os.Exit(2)
+	}
+	updated := append([]byte{}, old[:begin]...)
+	updated = append(updated, render(collect())...)
+	updated = append(updated, old[end+len(endMarker):]...)
+
+	if *check {
+		if !bytes.Equal(old, updated) {
+			fmt.Fprintf(os.Stderr, "metricsdoc: %s is stale; run `make metrics-schema`\n", *path)
+			os.Exit(1)
+		}
+		fmt.Println("metricsdoc: schema table is current")
+		return
+	}
+	if bytes.Equal(old, updated) {
+		fmt.Println("metricsdoc: schema table already current")
+		return
+	}
+	if err := os.WriteFile(*path, updated, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "metricsdoc:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("metricsdoc: rewrote the schema table in %s (%d names)\n", *path, len(collect()))
+}

@@ -30,16 +30,20 @@ import (
 
 func main() {
 	var (
-		csvDir  = flag.String("csv", "", "also write each experiment as CSV into this directory")
-		scale   = flag.Float64("scale", 0.5, "problem-size multiplier for every experiment")
-		seed    = flag.Uint64("seed", 42, "workload seed")
-		small   = flag.Int("small", 4, "node count standing in for the paper's 16-node machine")
-		medium  = flag.Int("medium", 8, "node count standing in for the paper's 32-node machine")
-		eight   = flag.Int("eight", 8, "node count for the clock-scaling study (paper: 8)")
-		full    = flag.Bool("full", false, "run at the paper's machine sizes (16/32/8 nodes)")
-		only    = flag.String("only", "", "run a single experiment: t5,t6,t7,t8,t9,f2..f11")
-		workers = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS)")
-		quiet   = flag.Bool("quiet", false, "suppress the stderr progress line")
+		csvDir     = flag.String("csv", "", "also write each experiment as CSV into this directory")
+		metricsDir = flag.String("metrics-dir", "", "write one metrics JSON per run into this directory")
+		scale      = flag.Float64("scale", 0.5, "problem-size multiplier for every experiment")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+		small      = flag.Int("small", 4, "node count standing in for the paper's 16-node machine")
+		medium     = flag.Int("medium", 8, "node count standing in for the paper's 32-node machine")
+		eight      = flag.Int("eight", 8, "node count for the clock-scaling study (paper: 8)")
+		full       = flag.Bool("full", false, "run at the paper's machine sizes (16/32/8 nodes)")
+		only       = flag.String("only", "", "run a single experiment: t5,t6,t7,t8,t9,f2..f11")
+		workers    = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS)")
+		quiet      = flag.Bool("quiet", false, "suppress the stderr progress line")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		tracePath  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -52,6 +56,22 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+	}
+	stopProfiling, err := core.StartProfiling(*cpuProfile, *memProfile, *tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
+	endProfiling := func() {
+		if err := stopProfiling(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -60,13 +80,22 @@ func main() {
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
+	// Progress callbacks are serialized by the Runner, so the metrics
+	// writer needs no locking of its own.
 	progress := func(name string) core.ProgressFunc {
-		if *quiet {
+		if *quiet && *metricsDir == "" {
 			return nil
 		}
 		return func(p core.Progress) {
-			fmt.Fprintf(os.Stderr, "\r%s: %d/%d (%v/%v)      ",
-				name, p.Done, p.Total, p.Result.Cfg.App, p.Result.Cfg.Model)
+			if *metricsDir != "" {
+				if err := writeRunMetrics(*metricsDir, name, p.Result); err != nil {
+					fmt.Fprintln(os.Stderr, "\rmetrics:", err)
+				}
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d (%v/%v)      ",
+					name, p.Done, p.Total, p.Result.Cfg.App, p.Result.Cfg.Model)
+			}
 		}
 	}
 	suite := func(name string, ghz float64) core.Suite {
@@ -174,10 +203,29 @@ func main() {
 		return v.Render(), v
 	})
 
+	endProfiling()
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "paperbench: interrupted")
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "paperbench: total %s with %d workers\n",
 		time.Since(startAll).Round(time.Millisecond), nWorkers)
+}
+
+// writeRunMetrics emits one run's deterministic metrics JSON into dir. The
+// filename is unique within a section (every cell of an experiment differs
+// in model, nodes or way), so a full sweep leaves one file per simulation.
+func writeRunMetrics(dir, section string, r *core.Result) error {
+	if r == nil || r.Metrics == nil {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, section+"_"+core.RunName(r.Cfg)+".json"))
+	if err != nil {
+		return err
+	}
+	if err := core.WriteRunJSON(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -21,6 +22,26 @@ import (
 	"smtpsim/internal/core"
 	"smtpsim/internal/pipeline"
 )
+
+// writeMetrics emits the run's deterministic metrics JSON (see METRICS.md
+// for the name schema) to the given path; "" disables, "-" is stdout.
+func writeMetrics(path string, res *core.Result) error {
+	if path == "" || res.Metrics == nil {
+		return nil
+	}
+	if path == "-" {
+		return core.WriteRunJSON(os.Stdout, res)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteRunJSON(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func parseModel(s string) (core.Model, error) {
 	for _, m := range core.Models() {
@@ -51,6 +72,11 @@ func main() {
 		scale  = flag.Float64("scale", 1, "problem-size multiplier")
 		seed   = flag.Uint64("seed", 42, "workload seed")
 		las    = flag.Bool("las", true, "SMTp look-ahead scheduling")
+
+		metricsF   = flag.String("metrics", "", "write the run's metrics JSON to this file (\"-\" = stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		tracePath  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 
@@ -82,9 +108,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	stopProfiling, err := core.StartProfiling(*cpuProfile, *memProfile, *tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res := core.RunContext(ctx, cfg)
+	if err := stopProfiling(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if err := writeMetrics(*metricsF, res); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+		os.Exit(1)
+	}
 	if errors.Is(res.Err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "interrupted after %d simulated cycles (%s wall)\n",
 			res.Cycles, res.WallTime.Round(time.Millisecond))
@@ -103,21 +142,27 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("%v / %v, %d nodes x %d-way @ %.0f GHz (scale %.2f)\n",
+	// With -metrics - the JSON owns stdout; the human summary moves to
+	// stderr so the output stays parseable.
+	out := io.Writer(os.Stdout)
+	if *metricsF == "-" {
+		out = os.Stderr
+	}
+	fmt.Fprintf(out, "%v / %v, %d nodes x %d-way @ %.0f GHz (scale %.2f)\n",
 		model, app, *nodes, *way, *ghz, *scale)
-	fmt.Printf("  execution time:        %d cycles\n", res.Cycles)
-	fmt.Printf("  host:                  %s wall, %.1f Mcycles/s\n",
+	fmt.Fprintf(out, "  execution time:        %d cycles\n", res.Cycles)
+	fmt.Fprintf(out, "  host:                  %s wall, %.1f Mcycles/s\n",
 		res.WallTime.Round(time.Millisecond), res.CyclesPerSec/1e6)
-	fmt.Printf("  memory stall fraction: %.3f (non-memory %.3f)\n", res.MemStallFrac, res.NonMemFrac)
-	fmt.Printf("  retired: %d application + %d protocol instructions\n", res.RetiredApp, res.RetiredProto)
-	fmt.Printf("  protocol occupancy:    peak %.2f%% of execution\n", 100*res.ProtoOccupancyPeak)
-	fmt.Printf("  L1D misses %d, L2 misses %d, network messages %d, handlers %d\n",
+	fmt.Fprintf(out, "  memory stall fraction: %.3f (non-memory %.3f)\n", res.MemStallFrac, res.NonMemFrac)
+	fmt.Fprintf(out, "  retired: %d application + %d protocol instructions\n", res.RetiredApp, res.RetiredProto)
+	fmt.Fprintf(out, "  protocol occupancy:    peak %.2f%% of execution\n", 100*res.ProtoOccupancyPeak)
+	fmt.Fprintf(out, "  L1D misses %d, L2 misses %d, network messages %d, handlers %d\n",
 		res.L1DMisses, res.L2Misses, res.NetworkMsgs, res.Dispatched)
 	if model == core.SMTp {
-		fmt.Printf("  protocol thread: mispredict %.2f%%, squash %.2f%%, %.2f%% of retired instrs\n",
+		fmt.Fprintf(out, "  protocol thread: mispredict %.2f%%, squash %.2f%%, %.2f%% of retired instrs\n",
 			100*res.ProtoBrMispredRate, res.ProtoSquashPct, res.ProtoRetiredPct)
-		fmt.Printf("  occupancy peaks: branch stack %s | int regs %s | IQ %s | LSQ %s\n",
+		fmt.Fprintf(out, "  occupancy peaks: branch stack %s | int regs %s | IQ %s | LSQ %s\n",
 			res.OccBrStack, res.OccIntRegs, res.OccIQ, res.OccLSQ)
-		fmt.Printf("  bypass-buffer fills: %d, look-ahead starts: %d\n", res.BypassFills, res.LookAheads)
+		fmt.Fprintf(out, "  bypass-buffer fills: %d, look-ahead starts: %d\n", res.BypassFills, res.LookAheads)
 	}
 }

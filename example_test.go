@@ -1,0 +1,43 @@
+package smtpsim_test
+
+import (
+	"fmt"
+	"strings"
+
+	"smtpsim"
+)
+
+// ExampleResult_metrics runs a small SMTp machine and reads individual
+// counters out of the run's metrics snapshot by their stable dotted names
+// (the full schema is documented in METRICS.md).
+func ExampleResult_metrics() {
+	res := smtpsim.Run(smtpsim.Config{
+		Model: smtpsim.SMTp, App: smtpsim.FFT,
+		Nodes: 2, AppThreads: 2, Scale: 0.25, Seed: 7,
+	})
+	if res.Err != nil {
+		fmt.Println("run failed:", res.Err)
+		return
+	}
+	snap := res.Metrics
+
+	// Individual counters are addressed by dotted name; absent names
+	// read as zero.
+	fmt.Println("protocol handlers ran:", snap.Uint("node0.mc.dispatched") > 0)
+	fmt.Println("net.sent matches Result.NetworkMsgs:",
+		snap.Uint("net.sent") == res.NetworkMsgs)
+
+	// The snapshot is name-sorted, so related metrics group together.
+	l2 := 0
+	for _, name := range snap.Names() {
+		if strings.Contains(name, ".l2.") {
+			l2++
+		}
+	}
+	fmt.Println("per-node L2 metrics present:", l2 > 0)
+
+	// Output:
+	// protocol handlers ran: true
+	// net.sent matches Result.NetworkMsgs: true
+	// per-node L2 metrics present: true
+}

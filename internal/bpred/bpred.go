@@ -5,6 +5,8 @@
 // per-thread return address stack with top-of-stack repair.
 package bpred
 
+import "smtpsim/internal/stats"
+
 // Tournament predictor geometry (21264-like).
 const (
 	localHistEntries = 1024
@@ -269,4 +271,17 @@ func (r *RAS) Restore(c RASCheckpoint) {
 	r.tos = c.tos
 	top := (r.tos - 1 + len(r.entries)) % len(r.entries)
 	r.entries[top] = c.topVal
+}
+
+// RegisterMetrics publishes the direction predictor's counters under the
+// given scope.
+func (t *Tournament) RegisterMetrics(s *stats.Scope) {
+	s.CounterFunc("lookups", func() uint64 { return t.Lookups })
+	s.CounterFunc("mispredicts", func() uint64 { return t.Mispredicts })
+}
+
+// RegisterMetrics publishes the BTB's counters under the given scope.
+func (b *BTB) RegisterMetrics(s *stats.Scope) {
+	s.CounterFunc("hits", func() uint64 { return b.Hits })
+	s.CounterFunc("misses", func() uint64 { return b.Misses })
 }

@@ -6,7 +6,11 @@
 // conflict with in-flight application misses (paper §2.2).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"smtpsim/internal/stats"
+)
 
 // State is a cache-line coherence state. L1 caches use Invalid/Shared/
 // Modified; the L2 additionally distinguishes clean-exclusive (from the
@@ -228,4 +232,22 @@ func (c *Cache) Lines(fn func(tag uint64, st State)) {
 			}
 		}
 	}
+}
+
+// RegisterMetrics publishes the cache's counters under the given scope
+// (<scope>.hits, <scope>.misses) plus a snapshot-time occupancy gauge.
+func (c *Cache) RegisterMetrics(s *stats.Scope) {
+	s.CounterFunc("hits", func() uint64 { return c.Hits })
+	s.CounterFunc("misses", func() uint64 { return c.Misses })
+	s.GaugeFunc("valid_lines", func() float64 {
+		n := 0
+		for si := range c.sets {
+			for w := range c.sets[si] {
+				if c.sets[si][w].State != Invalid {
+					n++
+				}
+			}
+		}
+		return float64(n)
+	})
 }

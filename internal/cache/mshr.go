@@ -1,5 +1,7 @@
 package cache
 
+import "smtpsim/internal/stats"
+
 // MSHRClass says who is allocating a miss-status holding register.
 type MSHRClass uint8
 
@@ -144,4 +146,10 @@ func (f *MSHRFile) Entries(fn func(*MSHREntry)) {
 	if f.storeEntry.inUse {
 		fn(&f.storeEntry)
 	}
+}
+
+// RegisterMetrics publishes the MSHR file's counters under the given scope.
+func (f *MSHRFile) RegisterMetrics(s *stats.Scope) {
+	s.CounterFunc("alloc_fails", func() uint64 { return f.AllocFails })
+	s.GaugeFunc("in_use", func() float64 { return float64(f.InUse()) })
 }

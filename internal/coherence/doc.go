@@ -1,0 +1,29 @@
+// Package coherence implements the directory-based invalidation cache
+// coherence protocol of the simulated DSM machine: an SGI-Origin-2000-
+// derived bitvector protocol with eager-exclusive replies, busy states with
+// NAK/retry, three-hop interventions, and writeback-race resolution
+// (paper §3).
+//
+// Each protocol handler exists in two fused forms: a *semantic* part that
+// really reads and writes directory entries, probes/invalidates the local
+// cache hierarchy, and emits messages; and a *timing* part — a static
+// program of abstract-ISA instructions. Executing a handler interprets the
+// static program against the machine state, producing the executed-path
+// dynamic instruction trace (loads/stores with concrete directory
+// addresses, branches, message sends) that the protocol backend then
+// executes for timing: the embedded dual-issue protocol processor on
+// Base/Int* machines, or the SMTp protocol thread on the main pipeline.
+//
+// The split mirrors the paper's central observation: protocol *semantics*
+// are cheap, protocol *occupancy* is what limits scalability, so the
+// handler's timing must flow through whichever engine the machine model
+// provides, instruction by instruction.
+//
+// A Table is a complete protocol personality — one handler program per
+// MsgType. DefaultTable is the base protocol; extensions (§6: fault
+// tolerance via ReVive-style logging, active memory operations) derive new
+// tables that replace or augment individual handlers, exactly as a
+// protocol-thread machine would load different protocol code. The
+// per-message-type dispatch mix is observable at run time as the
+// node<i>.mc.dispatch.<msgtype> metrics (see METRICS.md).
+package coherence

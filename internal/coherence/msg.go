@@ -1,19 +1,3 @@
-// Package coherence implements the directory-based invalidation cache
-// coherence protocol of the simulated DSM machine: an SGI-Origin-2000-
-// derived bitvector protocol with eager-exclusive replies, busy states with
-// NAK/retry, three-hop interventions, and writeback-race resolution
-// (paper §3).
-//
-// Each protocol handler exists in two fused forms: a *semantic* part that
-// really reads and writes directory entries, probes/invalidates the local
-// cache hierarchy, and emits messages; and a *timing* part — a static
-// program of abstract-ISA instructions. Executing a handler interprets the
-// static program against the machine state, producing the executed-path
-// dynamic instruction trace (loads/stores with concrete directory
-// addresses, branches with resolved outcomes, sends). That trace is then
-// costed either on the embedded dual-issue protocol processor
-// (internal/ppengine) or fetched and executed by the SMTp protocol thread
-// on the main pipeline.
 package coherence
 
 import (

@@ -71,6 +71,15 @@ type Config struct {
 	// Protocol optionally replaces the coherence protocol table on every
 	// node (extensions such as coherence.NewReviveTable).
 	Protocol *coherence.Table
+
+	// MetricsInterval, when non-zero, additionally records a time series of
+	// every registered metric each MetricsInterval cycles; the run's Result
+	// then carries the series (see Result.Series).
+	MetricsInterval sim.Cycle
+	// MetricsDepth bounds the time-series ring buffer (0 = 1024 samples;
+	// when the run outlives the buffer, the oldest samples are dropped and
+	// Series.Dropped counts them).
+	MetricsDepth int
 }
 
 // Validate reports whether the configuration describes a machine the
@@ -105,6 +114,9 @@ func (c Config) Validate() error {
 	}
 	if c.SizeFor < 0 {
 		return fmt.Errorf("config: negative SizeFor %d", c.SizeFor)
+	}
+	if c.MetricsDepth < 0 {
+		return fmt.Errorf("config: negative MetricsDepth %d", c.MetricsDepth)
 	}
 	return nil
 }
@@ -183,6 +195,17 @@ type Result struct {
 	LookAheads   uint64
 	Deferred     uint64
 	CoherenceErr error
+
+	// Metrics is the end-of-run snapshot of the machine-wide metrics
+	// registry: every subsystem counter under its stable dotted name (see
+	// METRICS.md for the schema). Identical configurations produce
+	// byte-identical Metrics.WriteJSON output. Nil when the run never built
+	// a machine (validation failure).
+	Metrics *stats.Snapshot
+
+	// Series is the cycle-sampled metric time series, recorded every
+	// Config.MetricsInterval cycles. Nil unless MetricsInterval was set.
+	Series *stats.Series
 }
 
 // OccPair is a (peak across nodes, mean of per-node peaks) pair as in
@@ -246,12 +269,14 @@ func RunWorkloadContext(ctx context.Context, cfg Config, w *workload.Workload) *
 	}
 	start := time.Now()
 	m := machine.New(machine.Config{
-		Model:      cfg.Model,
-		Nodes:      cfg.Nodes,
-		AppThreads: cfg.AppThreads,
-		CPUGHz:     cfg.CPUGHz,
-		PipeTweak:  cfg.PipeTweak,
-		Protocol:   cfg.Protocol,
+		Model:          cfg.Model,
+		Nodes:          cfg.Nodes,
+		AppThreads:     cfg.AppThreads,
+		CPUGHz:         cfg.CPUGHz,
+		PipeTweak:      cfg.PipeTweak,
+		Protocol:       cfg.Protocol,
+		SampleInterval: cfg.MetricsInterval,
+		SampleCapacity: cfg.MetricsDepth,
 	})
 	workload.Attach(m, w)
 	cycles, done := m.RunContext(ctx, cfg.MaxCycles)
@@ -275,9 +300,18 @@ func observe(r *Result, start time.Time) {
 	r.HeapInuseBytes = ms.HeapInuse
 }
 
+// harvest derives the Result's paper metrics from the end-of-run registry
+// snapshot. Every value below is read by its stable dotted metric name (the
+// schema in METRICS.md); the raw counters all fit in float64 exactly, so
+// the arithmetic matches direct field reads bit for bit.
 func harvest(cfg Config, m *machine.Machine, cycles sim.Cycle, done bool) *Result {
 	r := &Result{Cfg: cfg, Completed: done, Cycles: cycles}
-	r.NetworkMsgs = m.Net.Sent
+	snap := m.Reg.Snapshot()
+	r.Metrics = snap
+	if rec := m.Recorder(); rec != nil {
+		r.Series = rec.Series()
+	}
+	r.NetworkMsgs = snap.Uint("net.sent")
 	if done {
 		r.CoherenceErr = m.CheckCoherence()
 	}
@@ -287,39 +321,37 @@ func harvest(cfg Config, m *machine.Machine, cycles sim.Cycle, done bool) *Resul
 	var brRes, brMis, squashCyc uint64
 	var brStack, intRegs, iq, lsq stats.Peak
 
-	for _, n := range m.Nodes {
-		p := n.Pipe
-		total := float64(p.Cycles)
+	for i, n := range m.Nodes {
+		at := func(name string) string { return fmt.Sprintf("node%d.%s", i, name) }
+		total := snap.Value(at("pipe.cycles"))
 		for t := 0; t < cfg.AppThreads; t++ {
-			memStallSum += float64(p.MemStallCycles[t]) / total
+			ctx := fmt.Sprintf("pipe.ctx%d.", t)
+			memStallSum += snap.Value(at(ctx+"mem_stall_cycles")) / total
 			appThreads++
-			r.RetiredApp += p.Retired[t]
+			r.RetiredApp += snap.Uint(at(ctx + "retired"))
 		}
-		r.L1DMisses += p.L1DMissed
-		r.L2Misses += p.L2Missed
-		r.BypassFills += p.BypassFills
-		r.Dispatched += n.MC.Dispatched
-		r.Deferred += n.DeferredInterventions
+		r.L1DMisses += snap.Uint(at("pipe.mem.l1d_missed"))
+		r.L2Misses += snap.Uint(at("pipe.mem.l2_missed"))
+		r.BypassFills += snap.Uint(at("pipe.mem.bypass_fills"))
+		r.Dispatched += snap.Uint(at("mc.dispatched"))
+		r.Deferred += snap.Uint(at("deferred_interventions"))
 
 		var occ float64
 		if cfg.Model == SMTp {
-			occ = float64(p.ProtoActiveCyc) / total
-			pt := p.ProtoTID()
-			r.RetiredProto += p.Retired[pt]
-			brRes += p.BrResolved[pt]
-			brMis += p.BrMispredicted[pt]
-			squashCyc += p.SquashCycles[pt]
-			d, la, _ := p.ProtoStats()
-			_ = d
-			r.LookAheads += la
-			brStack.Sample(p.ProtoOccBrStack.Max())
-			intRegs.Sample(p.ProtoOccIntReg.Max())
-			iq.Sample(p.ProtoOccIQ.Max())
-			lsq.Sample(p.ProtoOccLSQ.Max())
+			occ = snap.Value(at("pipe.proto.active_cycles")) / total
+			r.RetiredProto += snap.Uint(at("pipe.proto.retired"))
+			brRes += snap.Uint(at("pipe.proto.br_resolved"))
+			brMis += snap.Uint(at("pipe.proto.br_mispredicted"))
+			squashCyc += snap.Uint(at("pipe.proto.squash_cycles"))
+			r.LookAheads += snap.Uint(at("pipe.proto.lookahead_starts"))
+			brStack.Sample(int(snap.Value(at("pipe.proto.occ.br_stack.max"))))
+			intRegs.Sample(int(snap.Value(at("pipe.proto.occ.int_reg.max"))))
+			iq.Sample(int(snap.Value(at("pipe.proto.occ.iq.max"))))
+			lsq.Sample(int(snap.Value(at("pipe.proto.occ.lsq.max"))))
 		} else if n.PP != nil {
 			mcTicks := total / float64(n.MC.Cfg().ClockDiv)
-			occ = float64(n.PP.Engine.BusyCycles) / mcTicks
-			r.RetiredProto += n.PP.Engine.Retired
+			occ = snap.Value(at("pp.busy_cycles")) / mcTicks
+			r.RetiredProto += snap.Uint(at("pp.retired"))
 		}
 		r.ProtoOccupancy = append(r.ProtoOccupancy, occ)
 		if occ > r.ProtoOccupancyPeak {

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// The rendered paperbench tables are part of the repo's contract: the
+// paper-reproduction output must not drift when internals (such as the
+// metrics plumbing harvest now reads from) are refactored. This pins a
+// shrunken Table 5 byte-for-byte; regenerate deliberately with
+//
+//	go test ./internal/core -run Golden -update
+func TestSpeedupTableGolden(t *testing.T) {
+	s := Suite{Scale: 0.25, Seed: 42, Workers: 2}
+	got := s.RunSpeedup(SMTp, 2, []int{1, 2}).Render()
+
+	golden := filepath.Join("testdata", "speedup_smtp_2n.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("table output changed:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

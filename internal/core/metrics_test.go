@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Two runs of the same configuration must export byte-identical metrics
+// JSON — the property paperbench -metrics-dir relies on.
+func TestRunMetricsDeterministicJSON(t *testing.T) {
+	cfg := Config{Model: SMTp, App: FFT, Nodes: 2, AppThreads: 2, Scale: 0.25, Seed: 7}
+	run := func() (*Result, []byte) {
+		r := Run(cfg)
+		if r.Err != nil || !r.Completed {
+			t.Fatalf("run failed: err=%v completed=%v", r.Err, r.Completed)
+		}
+		if r.Metrics == nil {
+			t.Fatal("Result.Metrics is nil")
+		}
+		var b bytes.Buffer
+		if err := WriteRunJSON(&b, r); err != nil {
+			t.Fatal(err)
+		}
+		return r, b.Bytes()
+	}
+	r1, j1 := run()
+	_, j2 := run()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("identical runs exported different JSON bytes")
+	}
+
+	// The snapshot must agree with the Result counters harvest derived
+	// from it.
+	snap := r1.Metrics
+	if snap.Uint("net.sent") != r1.NetworkMsgs {
+		t.Fatalf("net.sent %d != NetworkMsgs %d", snap.Uint("net.sent"), r1.NetworkMsgs)
+	}
+	var dispatched uint64
+	for i := 0; i < 2; i++ {
+		dispatched += snap.Uint(strings.Replace("nodeN.mc.dispatched", "N", string(rune('0'+i)), 1))
+	}
+	if dispatched != r1.Dispatched {
+		t.Fatalf("mc.dispatched sum %d != Dispatched %d", dispatched, r1.Dispatched)
+	}
+	// The per-message-type dispatch breakdown must sum to the total.
+	var byType uint64
+	for _, name := range snap.Names() {
+		if strings.Contains(name, ".mc.dispatch.") {
+			byType += snap.Uint(name)
+		}
+	}
+	if byType != dispatched {
+		t.Fatalf("dispatch.<type> sum %d != dispatched %d", byType, dispatched)
+	}
+	if snap.Uint("node0.pipe.cycles") == 0 {
+		t.Fatal("pipe.cycles missing from snapshot")
+	}
+}
+
+// MetricsInterval must produce a bounded, chronologically ordered series.
+func TestRunSeriesRecorded(t *testing.T) {
+	r := Run(Config{
+		Model: Base, App: Water, Nodes: 1, Scale: 0.25, Seed: 3,
+		MetricsInterval: 1000, MetricsDepth: 16,
+	})
+	if r.Err != nil || !r.Completed {
+		t.Fatalf("run failed: err=%v completed=%v", r.Err, r.Completed)
+	}
+	s := r.Series
+	if s == nil {
+		t.Fatal("Result.Series is nil with MetricsInterval set")
+	}
+	if s.Len() == 0 {
+		t.Fatal("series recorded no samples")
+	}
+	if s.Len() > 16 {
+		t.Fatalf("series holds %d samples, ring capacity is 16", s.Len())
+	}
+	if len(s.Names) != r.Metrics.Len() {
+		t.Fatalf("series tracks %d names, snapshot has %d", len(s.Names), r.Metrics.Len())
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.Samples[i].Cycle <= s.Samples[i-1].Cycle {
+			t.Fatalf("series cycles not ascending at %d: %d then %d",
+				i, s.Samples[i-1].Cycle, s.Samples[i].Cycle)
+		}
+	}
+	// A run with no interval records nothing.
+	r2 := Run(Config{Model: Base, App: Water, Nodes: 1, Scale: 0.25, Seed: 3})
+	if r2.Series != nil {
+		t.Fatal("Series should be nil without MetricsInterval")
+	}
+}

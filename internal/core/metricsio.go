@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// RunName returns a filesystem-friendly identifier for a run's
+// configuration: <app>_<model>_<nodes>n<way>w, all lowercase. paperbench
+// prefixes it with the experiment section to name -metrics-dir files.
+func RunName(cfg Config) string {
+	return fmt.Sprintf("%s_%s_%dn%dw",
+		strings.ToLower(cfg.App.String()), strings.ToLower(cfg.Model.String()),
+		cfg.Nodes, cfg.AppThreads)
+}
+
+// WriteRunJSON writes one run's outcome as a deterministic JSON document: a
+// configuration header, the simulated cycle count and completion flag, and
+// the full metrics snapshot under "metrics" (every name is documented in
+// METRICS.md). Host-side observability (wall time, throughput, heap) is
+// deliberately excluded so identical configurations produce identical
+// bytes at any worker count.
+func WriteRunJSON(w io.Writer, r *Result) error {
+	bw := bufio.NewWriter(w)
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fmt.Fprintf(bw, "{\n")
+	fmt.Fprintf(bw, "  %q: %q,\n", "app", r.Cfg.App.String())
+	fmt.Fprintf(bw, "  %q: %q,\n", "model", r.Cfg.Model.String())
+	fmt.Fprintf(bw, "  %q: %d,\n", "nodes", r.Cfg.Nodes)
+	fmt.Fprintf(bw, "  %q: %d,\n", "app_threads", r.Cfg.AppThreads)
+	fmt.Fprintf(bw, "  %q: %s,\n", "cpu_ghz", ff(r.Cfg.CPUGHz))
+	fmt.Fprintf(bw, "  %q: %s,\n", "scale", ff(r.Cfg.Scale))
+	fmt.Fprintf(bw, "  %q: %d,\n", "seed", r.Cfg.Seed)
+	fmt.Fprintf(bw, "  %q: %d,\n", "cycles", r.Cycles)
+	fmt.Fprintf(bw, "  %q: %v,\n", "completed", r.Completed)
+	fmt.Fprintf(bw, "  %q: ", "metrics")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if r.Metrics != nil {
+		if err := r.Metrics.WriteJSONObject(w, "  "); err != nil {
+			return err
+		}
+	} else if _, err := io.WriteString(w, "null"); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
+}

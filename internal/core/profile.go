@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiling enables the host-side profilers selected by the three
+// paths (empty = off): a CPU profile, a heap profile written at stop time,
+// and a runtime execution trace. It returns a stop function that must be
+// called (once) to flush and close everything; both CLIs route their
+// -cpuprofile/-memprofile/-trace flags here.
+func StartProfiling(cpuProfile, memProfile, tracePath string) (func() error, error) {
+	var stops []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]() //nolint:errcheck // already failing
+		}
+		return nil, err
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return fail(fmt.Errorf("cpu profile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("cpu profile: %w", err))
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("trace: %w", err))
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if memProfile != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			return nil
+		})
+	}
+	return func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"smtpsim/internal/addrmap"
+	"smtpsim/internal/stats"
 )
 
 // State is a directory entry state.
@@ -140,6 +141,18 @@ func (e Entry) ForEachSharer(fn func(addrmap.NodeID)) {
 type Directory struct {
 	mem   *addrmap.Memory
 	nodes int
+
+	// Loads and Stores count typed directory-entry accesses (handler
+	// semantic reads/writes; the timing side is the protocol backend's).
+	Loads  uint64
+	Stores uint64
+}
+
+// RegisterMetrics publishes the directory's access counters under the
+// given scope.
+func (d *Directory) RegisterMetrics(s *stats.Scope) {
+	s.CounterFunc("loads", func() uint64 { return d.Loads })
+	s.CounterFunc("stores", func() uint64 { return d.Stores })
 }
 
 // New wraps a home node's backing memory.
@@ -154,6 +167,7 @@ func (d *Directory) EntryAddr(addr uint64) uint64 {
 
 // Load reads the entry covering the application address addr.
 func (d *Directory) Load(addr uint64) Entry {
+	d.Loads++
 	ea := d.EntryAddr(addr)
 	if addrmap.DirEntrySize(d.nodes) == 4 {
 		return Decode(uint64(d.mem.Read32(ea)), d.nodes)
@@ -163,6 +177,7 @@ func (d *Directory) Load(addr uint64) Entry {
 
 // Store writes the entry covering the application address addr.
 func (d *Directory) Store(addr uint64, e Entry) {
+	d.Stores++
 	ea := d.EntryAddr(addr)
 	raw := e.Encode(d.nodes)
 	if addrmap.DirEntrySize(d.nodes) == 4 {

@@ -1,7 +1,3 @@
-// Package machine assembles full DSM configurations: N nodes (paper Table
-// 4's five machine models), the bristled-hypercube interconnect, a global
-// synchronization manager for the workloads' barriers and locks, the run
-// loop, and the end-of-run coherence invariant checker.
 package machine
 
 import (
@@ -18,6 +14,7 @@ import (
 	"smtpsim/internal/pipeline"
 	"smtpsim/internal/ppengine"
 	"smtpsim/internal/sim"
+	"smtpsim/internal/stats"
 )
 
 // Model is one of the paper's five machine models (Table 4).
@@ -63,6 +60,14 @@ type Config struct {
 	// Protocol optionally replaces the coherence protocol on every node
 	// (extension tables such as coherence.NewReviveTable).
 	Protocol *coherence.Table
+
+	// SampleInterval, when non-zero, records a time-series sample of every
+	// registered metric each SampleInterval cycles into a bounded ring
+	// buffer (see Machine.Recorder).
+	SampleInterval sim.Cycle
+	// SampleCapacity bounds the time-series ring buffer (0 = 1024 samples;
+	// older samples are dropped, newest kept).
+	SampleCapacity int
 }
 
 // Machine is a built system.
@@ -73,6 +78,13 @@ type Machine struct {
 	Nodes []*node.Node
 	Sync  *SyncManager
 	AMap  *addrmap.Map
+
+	// Reg is the machine-wide metrics registry. Every subsystem registers
+	// its counters here under stable dotted names (node<i>.pipe.l2.misses,
+	// net.sent, ...); snapshot it with Reg.Snapshot().
+	Reg *stats.Registry
+
+	recorder *stats.Recorder
 }
 
 // New builds a machine.
@@ -91,6 +103,7 @@ func New(cfg Config) *Machine {
 		Eng:  sim.NewEngine(),
 		Sync: NewSyncManager(),
 		AMap: addrmap.NewMap(cfg.Nodes),
+		Reg:  stats.NewRegistry(),
 	}
 	m.Net = network.New(network.Config{
 		Nodes:       cfg.Nodes,
@@ -158,8 +171,22 @@ func New(cfg Config) *Machine {
 			Protocol:   cfg.Protocol,
 		}))
 	}
+	m.Net.RegisterMetrics(m.Reg.Scope("net"))
+	for i, n := range m.Nodes {
+		n.RegisterMetrics(m.Reg.Scope(fmt.Sprintf("node%d", i)))
+	}
+	if cfg.SampleInterval > 0 {
+		m.recorder = stats.NewRecorder(m.Reg, cfg.SampleCapacity)
+		m.Eng.AddClocked(sim.ClockedFunc(func(now sim.Cycle) {
+			m.recorder.Record(uint64(now))
+		}), cfg.SampleInterval, 0)
+	}
 	return m
 }
+
+// Recorder returns the cycle-sampled time-series recorder, or nil when
+// Config.SampleInterval is zero.
+func (m *Machine) Recorder() *stats.Recorder { return m.recorder }
 
 // GlobalThreads returns the total application thread count.
 func (m *Machine) GlobalThreads() int { return m.Cfg.Nodes * m.Cfg.AppThreads }

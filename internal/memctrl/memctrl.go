@@ -9,12 +9,15 @@
 package memctrl
 
 import (
+	"strings"
+
 	"smtpsim/internal/addrmap"
 	"smtpsim/internal/cache"
 	"smtpsim/internal/coherence"
 	"smtpsim/internal/isa"
 	"smtpsim/internal/network"
 	"smtpsim/internal/sim"
+	"smtpsim/internal/stats"
 )
 
 // Backend executes protocol handler traces. The SMTp pipeline and the
@@ -81,6 +84,50 @@ type MC struct {
 	MemReadsIssued uint64
 	MemWrites      uint64
 	ProtoMisses    uint64
+
+	// DispatchByType counts dispatched handlers per protocol message type
+	// (the coherence-protocol mix behind Table 7's occupancy numbers).
+	DispatchByType [coherence.NumMsgTypes]uint64
+
+	// Input-queue depth trackers, sampled once per MC clock.
+	localDepth stats.Peak
+	vcDepth    [network.NumVCs]stats.Peak
+}
+
+// RegisterMetrics publishes the controller's counters under the given
+// scope: dispatch totals and per-message-type breakdown, SDRAM traffic,
+// the protocol-miss bus, and peak/mean input-queue depths per virtual
+// network.
+func (mc *MC) RegisterMetrics(s *stats.Scope) {
+	s.CounterFunc("dispatched", func() uint64 { return mc.Dispatched })
+	s.CounterFunc("local_full", func() uint64 { return mc.LocalFull })
+	s.CounterFunc("mem_reads", func() uint64 { return mc.MemReadsIssued })
+	s.CounterFunc("mem_writes", func() uint64 { return mc.MemWrites })
+	s.CounterFunc("proto_misses", func() uint64 { return mc.ProtoMisses })
+	d := s.Scope("dispatch")
+	for t := coherence.MsgType(0); t < coherence.NumMsgTypes; t++ {
+		t := t
+		d.CounterFunc(strings.ToLower(t.String()), func() uint64 { return mc.DispatchByType[t] })
+	}
+	q := s.Scope("queue")
+	q.PeakOf("local", &mc.localDepth)
+	for vc := network.VC(0); vc < network.NumVCs; vc++ {
+		q.PeakOf(vc.String(), &mc.vcDepth[vc])
+	}
+}
+
+// sampleQueues records the input-queue depths for the queue.* peaks.
+func (mc *MC) sampleQueues() {
+	n := 0
+	for i := range mc.local {
+		if mc.local[i] != nil {
+			n++
+		}
+	}
+	mc.localDepth.Sample(n)
+	for vc := range mc.in {
+		mc.vcDepth[vc].Sample(len(mc.in[vc]))
+	}
 }
 
 // New builds a controller. The backend must be set with SetBackend before
@@ -254,6 +301,7 @@ func (mc *MC) popLocal() *network.Message {
 // Tick runs the handler dispatch unit: one dispatch per MC clock when the
 // backend has room. Registered with the engine at period cfg.ClockDiv.
 func (mc *MC) Tick(now sim.Cycle) {
+	mc.sampleQueues()
 	if mc.back == nil || !mc.back.CanAccept() {
 		return
 	}
@@ -267,6 +315,9 @@ func (mc *MC) Tick(now sim.Cycle) {
 func (mc *MC) dispatch(m *network.Message) {
 	mc.Dispatched++
 	t := coherence.MsgType(m.Type)
+	if t < coherence.NumMsgTypes {
+		mc.DispatchByType[t]++
+	}
 	// Overlap the memory access with handler execution when the message may
 	// be answered with line data from this node's memory (paper §2.1).
 	if t.WantsMemory() && mc.env.HomeOf(m.Addr) == mc.env.NodeID() {

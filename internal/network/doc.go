@@ -1,0 +1,25 @@
+// Package network models the machine interconnect of the paper's Table 3: a
+// 2-way bristled hypercube of SGI-Spider-like 6-port routers (two nodes per
+// router), 25 ns per hop, 1 GB/s links, and four virtual networks of which
+// the coherence protocol uses three (request, reply, intervention) to stay
+// deadlock-free.
+//
+// Routing is dimension-ordered (e-cube): a message crosses its bristle
+// link into the router, the differing hypercube dimensions in ascending
+// order, and the destination's bristle link. Head latency is hop count
+// times hop time; bandwidth is reserved per directed link (busy-until), so
+// contention appears wherever the traffic pattern concentrates — endpoint
+// ports and shared dimension links alike.
+//
+// Messages are typed by virtual channel (VC) and sized by what they carry
+// (a header, a header plus a 128-byte line); delivery order between a pair
+// of nodes on one virtual network is the network's only ordering promise,
+// and the coherence protocol is written to tolerate everything else
+// (replies overtaking interventions is the canonical race; see the node's
+// deferred-intervention machinery).
+//
+// Traffic totals and the instantaneous in-flight count are registered
+// under the net.* metric names (net.sent, net.bytes_sent, net.link_waits,
+// ...; see METRICS.md), which is where the paper's network-pressure
+// arguments become measurable.
+package network

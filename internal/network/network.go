@@ -1,15 +1,3 @@
-// Package network models the machine interconnect of the paper's Table 3: a
-// 2-way bristled hypercube of SGI-Spider-like 6-port routers (two nodes per
-// router), 25 ns per hop, 1 GB/s links, and four virtual networks of which
-// the coherence protocol uses three (request, reply, intervention) to stay
-// deadlock-free.
-//
-// Routing is dimension-ordered (e-cube): a message crosses its bristle
-// link into the router, the differing hypercube dimensions in ascending
-// order, and the destination's bristle link. Head latency is hop count
-// times hop time; bandwidth is reserved per directed link (busy-until), so
-// contention appears wherever the traffic pattern concentrates — endpoint
-// ports and shared dimension links alike.
 package network
 
 import (
@@ -17,6 +5,7 @@ import (
 
 	"smtpsim/internal/addrmap"
 	"smtpsim/internal/sim"
+	"smtpsim/internal/stats"
 )
 
 // VC is a virtual channel (virtual network).
@@ -209,3 +198,14 @@ func (n *Network) Send(m *Message) {
 
 // InFlight reports the number of sent-but-undelivered messages.
 func (n *Network) InFlight() uint64 { return n.Sent - n.Delivered }
+
+// RegisterMetrics publishes the interconnect's counters under the given
+// scope: message and byte totals, link-contention waits, and the
+// in-flight gauge the drain check uses.
+func (n *Network) RegisterMetrics(s *stats.Scope) {
+	s.CounterFunc("sent", func() uint64 { return n.Sent })
+	s.CounterFunc("delivered", func() uint64 { return n.Delivered })
+	s.CounterFunc("bytes_sent", func() uint64 { return n.BytesSent })
+	s.CounterFunc("link_waits", func() uint64 { return n.LinkWaits })
+	s.GaugeFunc("in_flight", func() float64 { return float64(n.InFlight()) })
+}

@@ -16,6 +16,7 @@ import (
 	"smtpsim/internal/pipeline"
 	"smtpsim/internal/ppengine"
 	"smtpsim/internal/sim"
+	"smtpsim/internal/stats"
 )
 
 // SyncPoller is the machine-level synchronization manager interface.
@@ -214,3 +215,17 @@ func (s *syncAdapter) SyncPoll(localTID int, token uint64) bool {
 
 // LocalMissOutstanding implements coherence.Env.
 func (n *Node) LocalMissOutstanding(line uint64) bool { return n.Pipe.HasOutstanding(line) }
+
+// RegisterMetrics publishes the node's counters under the given scope:
+// the pipeline under pipe, the memory controller under mc, the directory
+// under dir, and (Base/Int* models) the embedded protocol processor under
+// pp, plus the node-level deferred-intervention count.
+func (n *Node) RegisterMetrics(s *stats.Scope) {
+	n.Pipe.RegisterMetrics(s.Scope("pipe"))
+	n.MC.RegisterMetrics(s.Scope("mc"))
+	n.Dir.RegisterMetrics(s.Scope("dir"))
+	if n.PP != nil {
+		n.PP.Engine.RegisterMetrics(s.Scope("pp"))
+	}
+	s.CounterFunc("deferred_interventions", func() uint64 { return n.DeferredInterventions })
+}

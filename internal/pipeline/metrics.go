@@ -1,0 +1,81 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"smtpsim/internal/stats"
+)
+
+// RegisterMetrics publishes the core's counters under the given scope.
+//
+// Per-hardware-context counters go under ctx<i> for application threads and
+// under proto for the SMTp protocol context. Cache, predictor, MSHR and TLB
+// structures register under their own sub-scopes (l1i, l1d, l2, bpred, btb,
+// mshr, itlb, dtlb, and the SMTp bypass buffers).
+func (p *Pipeline) RegisterMetrics(s *stats.Scope) {
+	s.CounterFunc("cycles", func() uint64 { return p.Cycles })
+
+	for tid := range p.threads {
+		tid := tid
+		name := fmt.Sprintf("ctx%d", tid)
+		if tid == p.ProtoTID() {
+			name = "proto"
+		}
+		c := s.Scope(name)
+		c.CounterFunc("retired", func() uint64 { return p.Retired[tid] })
+		c.CounterFunc("mem_stall_cycles", func() uint64 { return p.MemStallCycles[tid] })
+		c.CounterFunc("br_resolved", func() uint64 { return p.BrResolved[tid] })
+		c.CounterFunc("br_mispredicted", func() uint64 { return p.BrMispredicted[tid] })
+		c.CounterFunc("squashed_uops", func() uint64 { return p.SquashedUops[tid] })
+		c.CounterFunc("squash_cycles", func() uint64 { return p.SquashCycles[tid] })
+	}
+
+	if p.cfg.HasProtocol {
+		pr := s.Scope("proto")
+		pr.CounterFunc("active_cycles", func() uint64 { return p.ProtoActiveCyc })
+		pr.CounterFunc("handlers_dispatched", func() uint64 { d, _, _ := p.ProtoStats(); return d })
+		pr.CounterFunc("lookahead_starts", func() uint64 { _, l, _ := p.ProtoStats(); return l })
+		pr.CounterFunc("switch_stall_cycles", func() uint64 { _, _, sw := p.ProtoStats(); return sw })
+		pr.CounterFunc("retry_spins", func() uint64 { return p.ProtoRetrySpins })
+		pr.CounterFunc("send_pi_spins", func() uint64 { return p.SendPISpins })
+		pr.CounterFunc("store_poll_spins", func() uint64 { return p.StorePollSpins })
+		occ := pr.Scope("occ")
+		occ.PeakOf("br_stack", &p.ProtoOccBrStack)
+		occ.PeakOf("int_reg", &p.ProtoOccIntReg)
+		occ.PeakOf("iq", &p.ProtoOccIQ)
+		occ.PeakOf("lsq", &p.ProtoOccLSQ)
+	}
+
+	p.l1i.RegisterMetrics(s.Scope("l1i"))
+	p.l1d.RegisterMetrics(s.Scope("l1d"))
+	p.l2.RegisterMetrics(s.Scope("l2"))
+	if p.ibyp != nil {
+		p.ibyp.RegisterMetrics(s.Scope("ibyp"))
+	}
+	if p.dbyp != nil {
+		p.dbyp.RegisterMetrics(s.Scope("dbyp"))
+	}
+	if p.l2byp != nil {
+		p.l2byp.RegisterMetrics(s.Scope("l2byp"))
+	}
+	p.mshr.RegisterMetrics(s.Scope("mshr"))
+	if p.itlb != nil {
+		t := s.Scope("itlb")
+		t.CounterFunc("hits", func() uint64 { return p.itlb.Hits })
+		t.CounterFunc("misses", func() uint64 { return p.itlb.Misses })
+	}
+	if p.dtlb != nil {
+		t := s.Scope("dtlb")
+		t.CounterFunc("hits", func() uint64 { return p.dtlb.Hits })
+		t.CounterFunc("misses", func() uint64 { return p.dtlb.Misses })
+	}
+	p.pred.RegisterMetrics(s.Scope("bpred"))
+	p.btb.RegisterMetrics(s.Scope("btb"))
+
+	m := s.Scope("mem")
+	m.CounterFunc("l1d_missed", func() uint64 { return p.L1DMissed })
+	m.CounterFunc("l2_missed", func() uint64 { return p.L2Missed })
+	m.CounterFunc("bypass_fills", func() uint64 { return p.BypassFills })
+	m.CounterFunc("upgrade_reqs", func() uint64 { return p.UpgradeReqs })
+	m.CounterFunc("prefetches", func() uint64 { return p.Prefetches })
+}

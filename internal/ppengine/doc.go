@@ -1,0 +1,18 @@
+// Package ppengine models the programmable dual-issue protocol processor
+// embedded in the memory controller of the non-SMTp machine models (Base,
+// IntPerfect, Int512KB, Int64KB) — a MAGIC/FLASH-style engine, closer in
+// spirit to the SGI Origin hub but programmable (paper §3).
+//
+// The engine executes the executed-path handler traces produced by
+// internal/coherence, two instructions per cycle in order, with a 32 KB
+// direct-mapped protocol instruction cache and a direct-mapped directory
+// data cache (perfect, 512 KB, or 64 KB depending on the machine model).
+// It is ticked at the memory-controller clock by the memory controller.
+//
+// The engine is the paper's baseline against which SMTp is judged: the
+// protocol thread must match a dedicated protocol processor's occupancy
+// without the dedicated hardware. Its busy-cycle and retirement counters
+// (node<i>.pp.busy_cycles, node<i>.pp.retired, plus the icache/dircache
+// hit counters; see METRICS.md) feed Table 7's occupancy comparison
+// through core.harvest.
+package ppengine

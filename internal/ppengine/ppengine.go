@@ -1,19 +1,10 @@
-// Package ppengine models the programmable dual-issue protocol processor
-// embedded in the memory controller of the non-SMTp machine models (Base,
-// IntPerfect, Int512KB, Int64KB) — a MAGIC/FLASH-style engine, closer in
-// spirit to the SGI Origin hub but programmable (paper §3).
-//
-// The engine executes the executed-path handler traces produced by
-// internal/coherence, two instructions per cycle in order, with a 32 KB
-// direct-mapped protocol instruction cache and a direct-mapped directory
-// data cache (perfect, 512 KB, or 64 KB depending on the machine model).
-// It is ticked at the memory-controller clock by the memory controller.
 package ppengine
 
 import (
 	"smtpsim/internal/addrmap"
 	"smtpsim/internal/isa"
 	"smtpsim/internal/sim"
+	"smtpsim/internal/stats"
 )
 
 // Config parameterizes the engine.
@@ -220,5 +211,25 @@ func (e *Engine) retire(in *isa.Instr) {
 	e.Retired++
 	if in.Payload != nil {
 		e.fire(in.Payload)
+	}
+}
+
+// RegisterMetrics publishes the engine's counters under the given scope:
+// busy cycles, retired protocol instructions, handler count, taken
+// branches, and the protocol instruction / directory data cache behaviour.
+func (e *Engine) RegisterMetrics(s *stats.Scope) {
+	s.CounterFunc("busy_cycles", func() uint64 { return e.BusyCycles })
+	s.CounterFunc("retired", func() uint64 { return e.Retired })
+	s.CounterFunc("handlers", func() uint64 { return e.Handlers })
+	s.CounterFunc("taken_branches", func() uint64 { return e.TakenBranches })
+	if e.ic != nil {
+		ic := s.Scope("icache")
+		ic.CounterFunc("hits", func() uint64 { return e.ic.hits })
+		ic.CounterFunc("misses", func() uint64 { return e.ic.misses })
+	}
+	if e.dir != nil {
+		dc := s.Scope("dircache")
+		dc.CounterFunc("hits", func() uint64 { return e.dir.hits })
+		dc.CounterFunc("misses", func() uint64 { return e.dir.misses })
 	}
 }

@@ -1,0 +1,30 @@
+// Package sim provides the deterministic simulation kernel shared by all
+// components of the SMTp machine model: a global cycle counter expressed in
+// processor clocks, a timed event heap for latencies that are most naturally
+// expressed as "call me back in N cycles" (SDRAM accesses, network hops), and
+// clock-divided tickers for components that run slower than the core (the
+// memory controller at half the core clock, the Base model's off-chip
+// controller at 400 MHz).
+//
+// The kernel is single-threaded and fully deterministic: components are
+// ticked in registration order and events scheduled for the same cycle fire
+// in FIFO order of scheduling. Determinism is the foundation of the repo's
+// reproducibility story — identical configurations produce identical cycle
+// counts, identical metrics snapshots, and byte-identical experiment
+// tables regardless of host, worker count, or wall-clock conditions.
+//
+// Time is modeled in three ways, chosen per component for cost:
+//
+//   - Clocked components (AddClocked) are ticked every period cycles in
+//     registration order. The pipelines tick every cycle; the memory
+//     controllers every ClockDiv cycles; an optional metrics recorder
+//     (machine.Config.SampleInterval) ticks at the sampling interval.
+//   - One-shot events (Schedule/After) model point latencies: a network
+//     hop completing, SDRAM data becoming ready. Same-cycle events fire in
+//     scheduling order, which keeps cross-component races deterministic.
+//   - Busy-until scalars live inside components (SDRAM banks, network
+//     links): cheap bandwidth modeling with no events at all.
+//
+// The package also houses Rand, a SplitMix64 generator; all randomness in
+// the simulator flows through seeded instances of it.
+package sim

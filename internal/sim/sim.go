@@ -1,14 +1,3 @@
-// Package sim provides the deterministic simulation kernel shared by all
-// components of the SMTp machine model: a global cycle counter expressed in
-// processor clocks, a timed event heap for latencies that are most naturally
-// expressed as "call me back in N cycles" (SDRAM accesses, network hops), and
-// clock-divided tickers for components that run slower than the core (the
-// memory controller at half the core clock, the Base model's off-chip
-// controller at 400 MHz).
-//
-// The kernel is single-threaded and fully deterministic: components are
-// ticked in registration order and events scheduled for the same cycle fire
-// in FIFO order of scheduling.
 package sim
 
 import (

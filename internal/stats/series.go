@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Recorder samples a registry at a fixed simulated-cycle interval into a
+// bounded ring buffer, turning the registry's counters into time series
+// without unbounded memory growth: once the ring is full the oldest
+// samples are overwritten, so a run always retains its most recent window.
+//
+// The machine drives Record from a clocked component; the recorder itself
+// is clock-agnostic (cycles are opaque uint64 labels).
+type Recorder struct {
+	reg      *Registry
+	names    []string // flattened sample names, fixed at first Record
+	capacity int
+	ring     []SeriesSample
+	start    int // index of the oldest sample when the ring has wrapped
+	wrapped  bool
+	dropped  uint64
+}
+
+// SeriesSample is one sampling instant: the cycle it was taken plus the
+// sample values in Series.Names order.
+type SeriesSample struct {
+	Cycle  uint64
+	Values []float64
+}
+
+// NewRecorder builds a recorder over reg retaining at most capacity
+// samples (0 = 1024).
+func NewRecorder(reg *Registry, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Recorder{reg: reg, capacity: capacity}
+}
+
+// Record takes one sample labelled with the given cycle.
+func (r *Recorder) Record(cycle uint64) {
+	snap := r.reg.Snapshot()
+	if r.names == nil {
+		r.names = snap.Names()
+	}
+	vals := make([]float64, len(snap.Samples))
+	for i := range snap.Samples {
+		vals[i] = snap.Samples[i].Value
+	}
+	s := SeriesSample{Cycle: cycle, Values: vals}
+	if len(r.ring) < r.capacity {
+		r.ring = append(r.ring, s)
+		return
+	}
+	r.ring[r.start] = s
+	r.start = (r.start + 1) % r.capacity
+	r.wrapped = true
+	r.dropped++
+}
+
+// Dropped returns how many samples were overwritten by the ring.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Series copies the retained samples out in chronological order.
+func (r *Recorder) Series() *Series {
+	s := &Series{Names: append([]string(nil), r.names...), Dropped: r.dropped}
+	if !r.wrapped {
+		s.Samples = append(s.Samples, r.ring...)
+		return s
+	}
+	for i := 0; i < len(r.ring); i++ {
+		s.Samples = append(s.Samples, r.ring[(r.start+i)%len(r.ring)])
+	}
+	return s
+}
+
+// Series is an exported time series: one column per sample name, one row
+// per sampling instant.
+type Series struct {
+	Names   []string
+	Samples []SeriesSample
+	// Dropped counts older samples lost to the ring bound.
+	Dropped uint64
+}
+
+// Len returns the number of retained sampling instants.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// WriteCSV writes the series as a cycle,<name...> table.
+func (s *Series) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("cycle")
+	for _, n := range s.Names {
+		bw.WriteString(",")
+		bw.WriteString(n)
+	}
+	bw.WriteString("\n")
+	for i := range s.Samples {
+		fmt.Fprintf(bw, "%d", s.Samples[i].Cycle)
+		for _, v := range s.Samples[i].Values {
+			bw.WriteString(",")
+			bw.WriteString(formatValue(v))
+		}
+		bw.WriteString("\n")
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is a point-in-time flattening of a Registry: every metric
+// reduced to named scalar samples, sorted by name. Two snapshots of
+// identical simulation states serialize to identical bytes, which is what
+// makes exported metrics diffable across runs and worker counts.
+
+// Sample is one flattened scalar.
+type Sample struct {
+	Name  string
+	Kind  Kind
+	Value float64
+}
+
+// Snapshot is an immutable, name-sorted set of samples.
+type Snapshot struct {
+	Samples []Sample
+	index   map[string]int
+}
+
+// Snapshot flattens every registered metric into a sorted snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{Samples: make([]Sample, 0, len(r.flat))}
+	for _, m := range r.metrics {
+		kind := m.kind
+		name := m.name
+		m.emit(func(suffix string, v float64) {
+			s.Samples = append(s.Samples, Sample{Name: name + suffix, Kind: kind, Value: v})
+		})
+	}
+	sort.Slice(s.Samples, func(i, j int) bool { return s.Samples[i].Name < s.Samples[j].Name })
+	s.index = make(map[string]int, len(s.Samples))
+	for i := range s.Samples {
+		s.index[s.Samples[i].Name] = i
+	}
+	return s
+}
+
+// Len returns the number of samples.
+func (s *Snapshot) Len() int { return len(s.Samples) }
+
+// Names returns the sorted sample names.
+func (s *Snapshot) Names() []string {
+	out := make([]string, len(s.Samples))
+	for i := range s.Samples {
+		out[i] = s.Samples[i].Name
+	}
+	return out
+}
+
+// Lookup returns the sample with the given name.
+func (s *Snapshot) Lookup(name string) (Sample, bool) {
+	if i, ok := s.index[name]; ok {
+		return s.Samples[i], true
+	}
+	return Sample{}, false
+}
+
+// Value returns the named sample's value, or 0 when absent.
+func (s *Snapshot) Value(name string) float64 {
+	if i, ok := s.index[name]; ok {
+		return s.Samples[i].Value
+	}
+	return 0
+}
+
+// Uint returns the named sample as an integer count (counters and peaks
+// are exact up to 2^53), or 0 when absent.
+func (s *Snapshot) Uint(name string) uint64 { return uint64(s.Value(name)) }
+
+// formatValue renders a sample value deterministically: integral values
+// print as integers, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON writes the snapshot as one flat, name-sorted JSON object
+// mapping sample name to value. The encoding is deterministic: identical
+// snapshots produce identical bytes. Names never need escaping (the
+// registry validates them to [a-z0-9_.]).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	s.writeObject(bw, "")
+	bw.WriteString("\n")
+	return bw.Flush()
+}
+
+// WriteJSONObject writes the same object without a trailing newline,
+// indenting inner lines with the given prefix, so the snapshot can be
+// embedded as a value inside a larger hand-written JSON document.
+func (s *Snapshot) WriteJSONObject(w io.Writer, indent string) error {
+	bw := bufio.NewWriter(w)
+	s.writeObject(bw, indent)
+	return bw.Flush()
+}
+
+func (s *Snapshot) writeObject(bw *bufio.Writer, indent string) {
+	bw.WriteString("{\n")
+	for i := range s.Samples {
+		sep := ","
+		if i == len(s.Samples)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(bw, "%s  %q: %s%s\n", indent, s.Samples[i].Name, formatValue(s.Samples[i].Value), sep)
+	}
+	bw.WriteString(indent + "}")
+}
+
+// WriteCSV writes the snapshot as name,kind,value rows with a header.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("name,kind,value\n")
+	for i := range s.Samples {
+		fmt.Fprintf(bw, "%s,%s,%s\n", s.Samples[i].Name, s.Samples[i].Kind,
+			formatValue(s.Samples[i].Value))
+	}
+	return bw.Flush()
+}

@@ -75,6 +75,7 @@ func Percent(num, den uint64) float64 {
 }
 
 // Set is a named collection of counters, handy for dumping component state.
+// names is kept insertion-sorted so rendering and iteration never re-sort.
 type Set struct {
 	names    []string
 	counters map[string]*Counter
@@ -92,7 +93,10 @@ func (s *Set) Counter(name string) *Counter {
 	}
 	c := &Counter{}
 	s.counters[name] = c
-	s.names = append(s.names, name)
+	i := sort.SearchStrings(s.names, name)
+	s.names = append(s.names, "")
+	copy(s.names[i+1:], s.names[i:])
+	s.names[i] = name
 	return c
 }
 
@@ -104,12 +108,24 @@ func (s *Set) Get(name string) uint64 {
 	return 0
 }
 
+// Names returns the counter names in sorted order. The returned slice is a
+// copy; callers may keep it.
+func (s *Set) Names() []string {
+	return append([]string(nil), s.names...)
+}
+
+// Each calls fn for every counter in sorted name order, so exporters never
+// reach into the backing map.
+func (s *Set) Each(fn func(name string, c *Counter)) {
+	for _, n := range s.names {
+		fn(n, s.counters[n])
+	}
+}
+
 // String renders the set sorted by name, one counter per line.
 func (s *Set) String() string {
-	names := append([]string(nil), s.names...)
-	sort.Strings(names)
 	var b strings.Builder
-	for _, n := range names {
+	for _, n := range s.names {
 		fmt.Fprintf(&b, "%s=%d\n", n, s.counters[n].Value())
 	}
 	return b.String()

@@ -2,8 +2,10 @@ package smtpsim
 
 import (
 	"context"
+	"io"
 
 	"smtpsim/internal/core"
+	"smtpsim/internal/stats"
 )
 
 // The public facade: external importers use package smtpsim; internal/core
@@ -57,6 +59,22 @@ type (
 	ResourceTable = core.ResourceTable
 )
 
+// Observability: every run's Result carries a Metrics snapshot of the
+// machine-wide registry (stable dotted names, documented in METRICS.md) and,
+// when Config.MetricsInterval is set, a cycle-sampled Series.
+type (
+	// Snapshot is a point-in-time, name-sorted flattening of the metrics
+	// registry; identical runs serialize to identical JSON/CSV bytes.
+	Snapshot = stats.Snapshot
+	// Sample is one flattened scalar of a Snapshot.
+	Sample = stats.Sample
+	// Series is a cycle-sampled metric time series (ring-buffered; the
+	// newest Config.MetricsDepth samples are kept).
+	Series = stats.Series
+	// SeriesSample is one sampling instant of a Series.
+	SeriesSample = stats.SeriesSample
+)
+
 // The five machine models of Table 4.
 const (
 	Base       = core.Base
@@ -89,3 +107,9 @@ func Run(cfg Config) *Result { return core.Run(cfg) }
 // million simulated cycles and returns a partial Result with
 // Completed == false (and Err == ctx.Err()) when cancelled.
 func RunContext(ctx context.Context, cfg Config) *Result { return core.RunContext(ctx, cfg) }
+
+// WriteRunJSON writes one run's outcome — configuration header, cycle
+// count, completion flag, and the full metrics snapshot — as a
+// deterministic JSON document (host wall time is excluded, so identical
+// configurations produce identical bytes).
+func WriteRunJSON(w io.Writer, r *Result) error { return core.WriteRunJSON(w, r) }
