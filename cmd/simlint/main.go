@@ -1,0 +1,125 @@
+// Command simlint is the repository's static-analysis gate. It loads
+// every package of the module with the standard library's go/parser and
+// go/types (no external dependencies) and enforces the determinism,
+// map-ordering, metric-naming and API-hygiene invariants documented in
+// DESIGN.md.
+//
+// Usage:
+//
+//	simlint [flags] [module-root]
+//
+// With no arguments it lints the module containing the current directory.
+// It prints one finding per line as file:line:col [check] message and
+// exits 1 if anything is found, so it slots directly into make check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"smtpsim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("simlint", flag.ExitOnError)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array instead of text")
+		check   = fs.String("check", "", "run only the named analyzer (default: all)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: simlint [flags] [module-root]\n\n")
+		fmt.Fprintf(fs.Output(), "Static-analysis gate for the simulator. Analyzers:\n\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nSilence an intentional finding on its own line or the line above:\n")
+		fmt.Fprintf(fs.Output(), "  //simlint:allow <check> -- <reason>\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	root := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		root = fs.Arg(0)
+	default:
+		fs.Usage()
+		return 2
+	}
+	root, err := findModuleRoot(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *check != "" {
+		a := lint.Lookup(*check)
+		if a == nil {
+			var names []string
+			for _, a := range analyzers {
+				names = append(names, a.Name)
+			}
+			fmt.Fprintf(os.Stderr, "simlint: unknown check %q (have %s)\n", *check, strings.Join(names, ", "))
+			return 2
+		}
+		analyzers = []*lint.Analyzer{a}
+	}
+
+	mod, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		return 2
+	}
+	diags := lint.RunAll(mod, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}

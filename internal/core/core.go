@@ -267,7 +267,7 @@ func RunWorkloadContext(ctx context.Context, cfg Config, w *workload.Workload) *
 	if err != nil {
 		return &Result{Cfg: cfg, Err: err}
 	}
-	start := time.Now()
+	start := time.Now() //simlint:allow determinism -- host-side wall-time observability; never feeds simulated state
 	m := machine.New(machine.Config{
 		Model:          cfg.Model,
 		Nodes:          cfg.Nodes,
@@ -291,7 +291,7 @@ func RunWorkloadContext(ctx context.Context, cfg Config, w *workload.Workload) *
 // observe fills the Result's host-side observability fields: wall time,
 // simulated-cycles-per-second throughput, and the heap footprint.
 func observe(r *Result, start time.Time) {
-	r.WallTime = time.Since(start)
+	r.WallTime = time.Since(start) //simlint:allow determinism -- host-side wall-time observability; excluded from metric exports
 	if s := r.WallTime.Seconds(); s > 0 {
 		r.CyclesPerSec = float64(r.Cycles) / s
 	}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// The repository's headline reproducibility guarantee, as enforced by
+// simlint and pinned here end to end: the same configuration produces
+// byte-identical metrics JSON and rendered tables whether it runs alone,
+// again, or fanned out through the parallel runner.
+
+// runJSON executes cfg and returns the exported metrics document.
+func runJSON(t *testing.T, r *Result) []byte {
+	t.Helper()
+	if r.Err != nil || !r.Completed {
+		t.Fatalf("run failed: err=%v completed=%v", r.Err, r.Completed)
+	}
+	var b bytes.Buffer
+	if err := WriteRunJSON(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestDeterminismRegression runs one small config twice directly and twice
+// through the worker pool; all four metric exports must be byte-identical.
+func TestDeterminismRegression(t *testing.T) {
+	cfg := Config{Model: SMTp, App: FFT, Nodes: 2, AppThreads: 2, Scale: 0.25, Seed: 11}
+
+	j1 := runJSON(t, Run(cfg))
+	j2 := runJSON(t, Run(cfg))
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("back-to-back runs of the same config exported different JSON")
+	}
+
+	res := Runner{Workers: 2}.RunBatch(context.Background(), []Job{{Cfg: cfg}, {Cfg: cfg}})
+	for i, r := range res {
+		if got := runJSON(t, r); !bytes.Equal(j1, got) {
+			t.Fatalf("runner job %d exported different JSON than the direct run", i)
+		}
+	}
+}
+
+// TestDeterminismRenderedTable renders the same shrunken speedup table
+// serially and through a 3-worker pool; the bytes must match.
+func TestDeterminismRenderedTable(t *testing.T) {
+	suite := func(workers int) string {
+		s := Suite{Scale: 0.25, Seed: 11, Workers: workers}
+		return s.RunSpeedup(SMTp, 1, []int{1}).Render()
+	}
+	serial := suite(1)
+	again := suite(1)
+	parallel := suite(3)
+	if serial != again {
+		t.Fatal("two serial table renders differ")
+	}
+	if serial != parallel {
+		t.Fatal("parallel-runner table render differs from the serial one")
+	}
+	if serial == "" {
+		t.Fatal("empty table render")
+	}
+}

@@ -82,6 +82,7 @@ func (r Runner) RunBatch(ctx context.Context, jobs []Job) []*Result {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//simlint:allow determinism -- worker pool fans out whole simulations; results are index-keyed so output order is fixed
 		go func() {
 			defer wg.Done()
 			for {

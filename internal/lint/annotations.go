@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"strings"
+)
+
+// An allow annotation silences one check on the line it occupies and the
+// line directly below it (so it can sit on the offending line or as a
+// comment of its own above it):
+//
+//	start := time.Now() //simlint:allow determinism -- host-side wall time
+//
+//	//simlint:allow maporder -- keys sorted by caller
+//	for k := range m { ... }
+//
+// The " -- reason" part is mandatory. Annotations that omit it, or name an
+// unknown check, are reported as "annotation" findings so a silencing
+// comment can never silently rot.
+const allowPrefix = "//simlint:allow"
+
+// allowSet maps file -> line -> set of checks allowed on that line.
+type allowSet struct {
+	byFile    map[string]map[int]map[string]bool
+	malformed []Diagnostic
+}
+
+// covers reports whether d is silenced by an annotation on its line or the
+// line above it.
+func (a *allowSet) covers(d Diagnostic) bool {
+	lines := a.byFile[d.File]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Line][d.Check] || lines[d.Line-1][d.Check]
+}
+
+// collectAnnotations scans every comment of the module for allow
+// annotations.
+func collectAnnotations(mod *Module) *allowSet {
+	a := &allowSet{byFile: make(map[string]map[int]map[string]bool)}
+	known := make(map[string]bool)
+	for _, an := range Analyzers() {
+		known[an.Name] = true
+	}
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+					if !ok {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					file := mod.rel(pos.Filename)
+					check, reason, hasReason := strings.Cut(rest, "--")
+					check = strings.TrimSpace(check)
+					switch {
+					case !hasReason || strings.TrimSpace(reason) == "":
+						a.malformed = append(a.malformed, mod.diag(c.Pos(), "annotation",
+							"allow annotation needs a reason: %s <check> -- <reason>", allowPrefix))
+						continue
+					case !known[check]:
+						a.malformed = append(a.malformed, mod.diag(c.Pos(), "annotation",
+							"allow annotation names unknown check %q", check))
+						continue
+					}
+					lines := a.byFile[file]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						a.byFile[file] = lines
+					}
+					if lines[pos.Line] == nil {
+						lines[pos.Line] = make(map[string]bool)
+					}
+					lines[pos.Line][check] = true
+				}
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Layering and signature conventions the public API relies on:
+//
+//   - internal/* must never import cmd/* — commands sit on top of the
+//     library, not inside it;
+//   - on exported functions and methods, a context.Context parameter must
+//     come first (callers cancel whole call trees, so the convention has
+//     to hold everywhere), and an error result must come last.
+func runAPIHygiene(mod *Module) []Diagnostic {
+	var out []Diagnostic
+	cmdPrefix := mod.Path + "/cmd"
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			if pkg.Internal() {
+				for _, imp := range f.Imports {
+					p := importPath(imp)
+					if p == cmdPrefix || strings.HasPrefix(p, cmdPrefix+"/") {
+						out = append(out, mod.diag(imp.Pos(), "apihygiene",
+							"internal package imports %s; commands depend on the library, never the reverse", p))
+					}
+				}
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !fn.Name.IsExported() {
+					continue
+				}
+				out = append(out, checkSignature(mod, pkg, fn)...)
+			}
+		}
+	}
+	return out
+}
+
+// checkSignature enforces ctx-first / error-last on one exported function.
+func checkSignature(mod *Module, pkg *Package, fn *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	params := flattenFields(pkg, fn.Type.Params)
+	for i, p := range params {
+		if isContextContext(p.typ) && i != 0 {
+			out = append(out, mod.diag(p.pos, "apihygiene",
+				"context.Context must be the first parameter of exported %s", fn.Name.Name))
+			break
+		}
+	}
+	results := flattenFields(pkg, fn.Type.Results)
+	for i, r := range results {
+		if isErrorType(r.typ) && i != len(results)-1 {
+			out = append(out, mod.diag(r.pos, "apihygiene",
+				"error must be the last result of exported %s", fn.Name.Name))
+			break
+		}
+	}
+	return out
+}
+
+// field is one logical parameter or result after flattening shared-type
+// declarations like (a, b int).
+type field struct {
+	pos token.Pos
+	typ types.Type
+}
+
+// flattenFields expands a field list into per-name entries.
+func flattenFields(pkg *Package, fl *ast.FieldList) []field {
+	if fl == nil {
+		return nil
+	}
+	var out []field
+	for _, f := range fl.List {
+		t := pkg.Info.TypeOf(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, field{f.Pos(), t})
+		}
+	}
+	return out
+}
+
+// isContextContext reports whether t is context.Context.
+func isContextContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isErrorType reports whether t is the built-in error type.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

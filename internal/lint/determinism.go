@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Simulation results must be a pure function of the Config: the same
+// machine description and workload must produce the same cycle counts and
+// metrics on every run and at every worker count. Anything that lets host
+// state leak into a simulation package breaks that, so inside internal/
+// packages this analyzer flags:
+//
+//   - time.Now / time.Since (wall-clock reads),
+//   - any import of math/rand or math/rand/v2 (unseeded global state),
+//   - os.Getenv / os.LookupEnv / os.Environ (host environment),
+//   - go statements (scheduling order is not deterministic).
+//
+// Host-side observability (the runner's wall-time measurement) and the
+// worker pool's goroutines are intentional and carry allow annotations.
+func runDeterminism(mod *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range mod.Packages {
+		if !pkg.Internal() {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				switch importPath(imp) {
+				case "math/rand", "math/rand/v2":
+					out = append(out, mod.diag(imp.Pos(), "determinism",
+						"import of %s in a simulation package; derive pseudo-randomness from the config seed instead", importPath(imp)))
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					out = append(out, mod.diag(n.Pos(), "determinism",
+						"goroutine spawned in a simulation package; the sim kernel is single-threaded by design"))
+				case *ast.CallExpr:
+					path, name := calleePkgFunc(pkg.Info, n)
+					switch path + "." + name {
+					case "time.Now", "time.Since":
+						out = append(out, mod.diag(n.Pos(), "determinism",
+							"%s.%s reads the wall clock; simulated time must come from the event engine", path, name))
+					case "os.Getenv", "os.LookupEnv", "os.Environ":
+						out = append(out, mod.diag(n.Pos(), "determinism",
+							"%s.%s makes results depend on the host environment; plumb it through Config", path, name))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// importPath returns the unquoted import path of an import spec.
+func importPath(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	return p[1 : len(p)-1]
+}
+
+// calleePkgFunc resolves a call whose callee is a package-level function
+// selected off an imported package (e.g. time.Now) to ("time", "Now").
+// Everything else resolves to ("", "").
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// calleeObj resolves the object a call expression invokes (function or
+// method), or nil.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads the seeded-violation module under testdata once per
+// test that needs it.
+func loadFixture(t *testing.T) *Module {
+	t.Helper()
+	mod, err := Load(filepath.Join("testdata", "module"))
+	if err != nil {
+		t.Fatalf("Load fixture: %v", err)
+	}
+	return mod
+}
+
+// readMarkers scans the fixture sources for "// want <check>..." markers
+// and returns the expected findings as "file:line:check" keys with counts.
+func readMarkers(t *testing.T, root string) map[string]int {
+	t.Helper()
+	want := make(map[string]int)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, after, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, check := range strings.Fields(after) {
+				want[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), i+1, check)]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan markers: %v", err)
+	}
+	return want
+}
+
+// TestFixtureFindings runs the full suite over the fixture module and
+// checks the findings against the // want markers: every marker must be
+// hit and nothing unmarked may be reported.
+func TestFixtureFindings(t *testing.T) {
+	mod := loadFixture(t)
+	got := make(map[string]int)
+	var diags []Diagnostic
+	for _, d := range RunAll(mod, Analyzers()) {
+		got[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(d.File), d.Line, d.Check)]++
+		diags = append(diags, d)
+	}
+	want := readMarkers(t, filepath.Join("testdata", "module"))
+
+	keys := make(map[string]bool)
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		if got[k] != want[k] {
+			t.Errorf("%s: got %d finding(s), want %d", k, got[k], want[k])
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("reported: %s", d)
+		}
+	}
+}
+
+// TestSingleAnalyzer mirrors simlint -check=maporder: only that analyzer's
+// findings (plus annotation hygiene) may appear.
+func TestSingleAnalyzer(t *testing.T) {
+	mod := loadFixture(t)
+	diags := RunAll(mod, []*Analyzer{Lookup("maporder")})
+	if len(diags) == 0 {
+		t.Fatal("maporder found nothing in the fixture")
+	}
+	for _, d := range diags {
+		if d.Check != "maporder" && d.Check != "annotation" {
+			t.Errorf("unexpected check %q in single-analyzer run: %s", d.Check, d)
+		}
+	}
+}
+
+// TestAnalyzerOrderStable pins the diagnostic sort: findings come out
+// ordered by file, line, column regardless of analyzer order.
+func TestAnalyzerOrderStable(t *testing.T) {
+	mod := loadFixture(t)
+	diags := RunAll(mod, Analyzers())
+	rev := make([]*Analyzer, 0, len(Analyzers()))
+	for _, a := range Analyzers() {
+		rev = append([]*Analyzer{a}, rev...)
+	}
+	diags2 := RunAll(mod, rev)
+	if len(diags) != len(diags2) {
+		t.Fatalf("analyzer order changed finding count: %d vs %d", len(diags), len(diags2))
+	}
+	for i := range diags {
+		if diags[i] != diags2[i] {
+			t.Errorf("finding %d differs across analyzer orders: %s vs %s", i, diags[i], diags2[i])
+		}
+	}
+}
+
+// TestRepoClean is the self-gate: the repository this package lives in
+// must lint clean. If this fails, either fix the finding or annotate it
+// with //simlint:allow <check> -- <reason>.
+func TestRepoClean(t *testing.T) {
+	mod, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("Load repo: %v", err)
+	}
+	for _, d := range RunAll(mod, Analyzers()) {
+		t.Errorf("repo finding: %s", d)
+	}
+}
+
+// TestLookup covers analyzer lookup by name.
+func TestLookup(t *testing.T) {
+	for _, a := range Analyzers() {
+		if Lookup(a.Name) == nil {
+			t.Errorf("Lookup(%q) = nil", a.Name)
+		}
+	}
+	if Lookup("nosuch") != nil {
+		t.Error("Lookup(nosuch) != nil")
+	}
+}
+
+// TestCheckMetricName pins the METRICS.md grammar.
+func TestCheckMetricName(t *testing.T) {
+	valid := []string{"cycles", "mem_stall_cycles", "node0.pipe.l2.misses", "le_2_5"}
+	for _, n := range valid {
+		if msg := checkMetricName(n); msg != "" {
+			t.Errorf("checkMetricName(%q) = %q, want ok", n, msg)
+		}
+	}
+	invalid := []string{"", "Bad", "has-dash", "a..b", ".a", "a.", "with space", "über"}
+	for _, n := range invalid {
+		if msg := checkMetricName(n); msg == "" {
+			t.Errorf("checkMetricName(%q) passed, want rejection", n)
+		}
+	}
+}
+
+// TestDiagnosticString pins the file:line:col [check] message format the
+// Makefile and editors rely on.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "a/b.go", Line: 3, Col: 7, Check: "maporder", Message: "boom"}
+	if got, want := d.String(), "a/b.go:3:7 [maporder] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Go randomizes map iteration order on purpose, so any map range whose
+// body has an order-sensitive effect is a latent nondeterminism bug: the
+// same simulation can schedule events, emit exports or report errors in a
+// different order from run to run. This analyzer flags a range over a map
+// when its body
+//
+//   - calls into internal/sim (event scheduling),
+//   - performs I/O (fmt printing, Write*/Encode/Flush method calls),
+//   - returns a value (e.g. the first fmt.Errorf wins — which one is
+//     "first" depends on map order),
+//   - appends to a slice declared outside the loop, or accumulates
+//     strings/floats into outer variables (concatenation order and
+//     float rounding are order-sensitive).
+//
+// The canonical fix — collect the keys, sort them, then index the map —
+// is recognized: a loop whose only effect is appending to slices that a
+// later statement in the same block passes to sort.* or slices.* is not
+// flagged. Anything else needs a //simlint:allow maporder annotation.
+func runMapOrder(mod *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			parents := buildParents(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pkg.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				risks := mapRangeRisks(mod, pkg, rs)
+				if len(risks) == 0 {
+					return true
+				}
+				if sortedAppendIdiom(pkg, rs, risks, parents) {
+					return true
+				}
+				out = append(out, mod.diag(rs.Pos(), "maporder",
+					"map iteration order is random but the body %s; sort the keys first or annotate", risks[0].what))
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// mapRisk is one order-sensitive effect found in a map-range body.
+type mapRisk struct {
+	pos    token.Pos
+	what   string     // human description for the diagnostic
+	target *types.Var // non-nil for append-to-outer-slice risks
+}
+
+// mapRangeRisks collects the order-sensitive effects of a map-range body.
+func mapRangeRisks(mod *Module, pkg *Package, rs *ast.RangeStmt) []mapRisk {
+	var risks []mapRisk
+	outer := func(e ast.Expr) *types.Var {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, ok := pkg.Info.ObjectOf(id).(*types.Var)
+		if !ok || (v.Pos() >= rs.Pos() && v.Pos() <= rs.End()) {
+			return nil
+		}
+		return v
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			// `return false` from a membership scan is order-independent;
+			// only non-constant results (fmt.Errorf, the key, ...) make the
+			// choice of iteration order observable.
+			for _, res := range n.Results {
+				if tv, ok := pkg.Info.Types[res]; ok && tv.Value != nil {
+					continue
+				}
+				if id, ok := res.(*ast.Ident); ok && (id.Name == "nil" || id.Name == "true" || id.Name == "false") {
+					continue
+				}
+				risks = append(risks, mapRisk{n.Pos(), "returns a loop-dependent value", nil})
+				break
+			}
+		case *ast.CallExpr:
+			if r, ok := callRisk(mod, pkg, n); ok {
+				risks = append(risks, r)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				v := outer(lhs)
+				if v == nil {
+					continue
+				}
+				switch n.Tok {
+				case token.ASSIGN, token.DEFINE:
+					if i < len(n.Rhs) && isAppendTo(pkg, n.Rhs[i], v) {
+						risks = append(risks, mapRisk{n.Pos(), "appends to a slice declared outside the loop", v})
+					}
+				case token.ADD_ASSIGN:
+					bt, ok := v.Type().Underlying().(*types.Basic)
+					if !ok {
+						continue
+					}
+					switch {
+					case bt.Info()&types.IsString != 0:
+						risks = append(risks, mapRisk{n.Pos(), "concatenates strings in map order", nil})
+					case bt.Info()&types.IsFloat != 0:
+						risks = append(risks, mapRisk{n.Pos(), "accumulates floats in map order (rounding is order-sensitive)", nil})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return risks
+}
+
+// callRisk classifies a call inside a map-range body.
+func callRisk(mod *Module, pkg *Package, call *ast.CallExpr) (mapRisk, bool) {
+	if path, name := calleePkgFunc(pkg.Info, call); path == "fmt" {
+		switch name {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return mapRisk{call.Pos(), "performs I/O (fmt." + name + ")", nil}, true
+		}
+	}
+	obj := calleeObj(pkg.Info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return mapRisk{}, false
+	}
+	if obj.Pkg().Path() == mod.Path+"/internal/sim" {
+		return mapRisk{call.Pos(), "calls into the event engine (" + obj.Name() + ")", nil}, true
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if _, isMethod := pkg.Info.Selections[sel]; isMethod {
+			switch obj.Name() {
+			case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "Flush":
+				return mapRisk{call.Pos(), "performs I/O (." + obj.Name() + ")", nil}, true
+			}
+		}
+	}
+	return mapRisk{}, false
+}
+
+// isAppendTo reports whether e is append(target, ...).
+func isAppendTo(pkg *Package, e ast.Expr, target *types.Var) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || pkg.Info.Uses[id] != types.Universe.Lookup("append") {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	return ok && pkg.Info.ObjectOf(first) == target
+}
+
+// sortedAppendIdiom recognizes the collect-sort-index idiom: every risk is
+// an append to an outer slice, and each such slice is later handed to a
+// sort.* or slices.* call in the block enclosing the range statement.
+func sortedAppendIdiom(pkg *Package, rs *ast.RangeStmt, risks []mapRisk, parents map[ast.Node]ast.Node) bool {
+	targets := make(map[*types.Var]bool)
+	for _, r := range risks {
+		if r.target == nil {
+			return false
+		}
+		targets[r.target] = false
+	}
+	block, idx := enclosingBlock(rs, parents)
+	if block == nil {
+		return false
+	}
+	for _, stmt := range block.List[idx+1:] {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, _ := calleePkgFunc(pkg.Info, call); path != "sort" && path != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					if v, ok := pkg.Info.ObjectOf(id).(*types.Var); ok {
+						if _, tracked := targets[v]; tracked {
+							targets[v] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, sorted := range targets {
+		if !sorted {
+			return false
+		}
+	}
+	return true
+}
+
+// enclosingBlock walks up the parent map to the innermost block holding
+// the statement chain of n, returning the block and the index of the
+// top-level statement containing n.
+func enclosingBlock(n ast.Node, parents map[ast.Node]ast.Node) (*ast.BlockStmt, int) {
+	child := n
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		if block, ok := cur.(*ast.BlockStmt); ok {
+			for i, stmt := range block.List {
+				if stmt == child {
+					return block, i
+				}
+			}
+			return nil, 0
+		}
+		child = cur
+	}
+	return nil, 0
+}
+
+// buildParents maps every node of the file to its parent.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

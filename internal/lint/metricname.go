@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// The stats registry rejects malformed or colliding metric names by
+// panicking at machine-build time. This analyzer moves both failures to
+// lint time: every string literal passed to a stats registration call
+// (Scope.Counter/CounterOf/CounterFunc/Gauge/GaugeFunc/Peak/PeakOf/
+// Histogram and Registry.Scope/Scope.Scope) must follow the METRICS.md
+// grammar — dot-separated segments of [a-z0-9_]+ — and two registration
+// call sites in one function must not register the same literal name on
+// the same scope expression. Names built at run time (fmt.Sprintf) are
+// outside static reach and are skipped.
+var registerMethods = map[string]bool{
+	"Counter": true, "CounterOf": true, "CounterFunc": true,
+	"Gauge": true, "GaugeFunc": true,
+	"Peak": true, "PeakOf": true,
+	"Histogram": true,
+}
+
+func runMetricName(mod *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				// (receiver identity, literal name) -> first registration site
+				seen := make(map[string]ast.Node)
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					key, recv, method := statsCall(mod, pkg, call)
+					if key == "" || len(call.Args) == 0 {
+						return true
+					}
+					lit, ok := stringLiteral(call.Args[0])
+					if !ok {
+						return true
+					}
+					if msg := checkMetricName(lit); msg != "" {
+						out = append(out, mod.diag(call.Args[0].Pos(), "metricname",
+							"metric name %q %s (METRICS.md grammar: dotted [a-z0-9_]+ segments)", lit, msg))
+					}
+					if registerMethods[method] {
+						key := key + "\x00" + lit
+						if prev, dup := seen[key]; dup {
+							p := mod.Fset.Position(prev.Pos())
+							out = append(out, mod.diag(call.Pos(), "metricname",
+								"metric %q already registered on %s at %s:%d; the registry will panic", lit, recv, mod.rel(p.Filename), p.Line))
+						} else {
+							seen[key] = call
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// statsCall reports whether call is a method call on a stats Scope or
+// Registry. It returns a collision key identifying the receiver (the
+// declaring object for a plain identifier, so two variables that happen to
+// share a name stay distinct; the printed expression otherwise), the
+// receiver's source text for messages, and the method name. An empty key
+// means "not a stats call".
+func statsCall(mod *Module, pkg *Package, call *ast.CallExpr) (key, recv, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return "", "", ""
+	}
+	named, ok := derefNamed(s.Recv())
+	if !ok {
+		return "", "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "/stats") {
+		return "", "", ""
+	}
+	method = sel.Sel.Name
+	switch obj.Name() {
+	case "Scope":
+		if !registerMethods[method] && method != "Scope" {
+			return "", "", ""
+		}
+	case "Registry":
+		if method != "Scope" {
+			return "", "", ""
+		}
+	default:
+		return "", "", ""
+	}
+	var buf bytes.Buffer
+	printer.Fprint(&buf, mod.Fset, sel.X)
+	recv = buf.String()
+	key = recv
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if o := pkg.Info.ObjectOf(id); o != nil {
+			key = fmt.Sprintf("%s@%d", o.Name(), o.Pos())
+		}
+	}
+	return key, recv, method
+}
+
+// derefNamed unwraps pointers to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// stringLiteral unquotes a string literal expression.
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// checkMetricName validates a dotted metric name fragment against the
+// METRICS.md grammar, returning "" or a problem description.
+func checkMetricName(name string) string {
+	if name == "" {
+		return "is empty"
+	}
+	for _, seg := range strings.Split(name, ".") {
+		if seg == "" {
+			return "has an empty segment"
+		}
+		for i := 0; i < len(seg); i++ {
+			c := seg[i]
+			if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+				return "has a segment with characters outside [a-z0-9_]"
+			}
+		}
+	}
+	return ""
+}

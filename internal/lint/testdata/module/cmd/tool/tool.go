@@ -1,0 +1,6 @@
+// Package tool exists so the apihygiene fixture has a cmd/ package to
+// illegally import.
+package tool
+
+// Run does nothing.
+func Run() {}

@@ -1,0 +1,36 @@
+// Package apibad seeds layering and signature violations for the
+// apihygiene analyzer.
+package apibad
+
+import (
+	"context"
+
+	"fixture/cmd/tool" // want apihygiene
+)
+
+// UseTool pulls a command package into the library layer.
+func UseTool() { tool.Run() }
+
+// Fetch takes its context in the wrong position.
+func Fetch(name string, ctx context.Context) error { // want apihygiene
+	_ = name
+	return ctx.Err()
+}
+
+// Split returns its error first.
+func Split() (error, int) { // want apihygiene
+	return nil, 0
+}
+
+// Good follows both conventions; not a finding.
+func Good(ctx context.Context, n int) (int, error) {
+	return n, ctx.Err()
+}
+
+// unexported signatures are out of scope for the hygiene rules.
+func helper(name string, ctx context.Context) error {
+	_ = name
+	return ctx.Err()
+}
+
+var _ = helper

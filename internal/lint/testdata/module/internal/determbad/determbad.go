@@ -1,0 +1,50 @@
+// Package determbad seeds every violation the determinism analyzer must
+// catch, plus annotated sites it must suppress and malformed annotations
+// it must report.
+package determbad
+
+import (
+	"math/rand" // want determinism
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	t := time.Now() // want determinism
+	return t.UnixNano()
+}
+
+// Elapsed measures host time.
+func Elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want determinism
+}
+
+// Jitter uses the flagged math/rand import.
+func Jitter() int {
+	return rand.Int()
+}
+
+// Env reads the host environment.
+func Env() string {
+	return os.Getenv("SEED") // want determinism
+}
+
+// Spawn starts a goroutine.
+func Spawn(fn func()) {
+	go fn() // want determinism
+}
+
+// Allowed is annotated, so its wall-clock read must not be reported.
+func Allowed() time.Time {
+	return time.Now() //simlint:allow determinism -- fixture: annotated call must be suppressed
+}
+
+//simlint:allow determinism // want annotation
+func missingReason() {}
+
+//simlint:allow nosuchcheck -- some reason // want annotation
+func unknownCheck() {}
+
+var _ = missingReason
+var _ = unknownCheck

@@ -1,0 +1,83 @@
+// Package mapbad seeds order-sensitive map iterations for the maporder
+// analyzer, alongside the sorted-keys idiom and order-insensitive loops
+// that must stay silent.
+package mapbad
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FirstError reports whichever violation map order yields first.
+func FirstError(m map[uint64]int) error {
+	for k, v := range m { // want maporder
+		if v < 0 {
+			return fmt.Errorf("bad value under key %d", k)
+		}
+	}
+	return nil
+}
+
+// Keys uses the canonical collect-then-sort idiom; not a finding.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Leak lets map order escape through an unsorted slice.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+// Count is order-insensitive; not a finding.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Contains returns only constants from the loop; not a finding.
+func Contains(m map[string]bool, want string) bool {
+	for k := range m {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Annotated is suppressed by its allow annotation.
+func Annotated(m map[string]int) []string {
+	var out []string
+	//simlint:allow maporder -- fixture: annotated loop must be suppressed
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Concat concatenates strings in map order.
+func Concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want maporder
+		s += k
+	}
+	return s
+}
+
+// Print performs I/O from inside the loop.
+func Print(m map[string]int) {
+	for k, v := range m { // want maporder
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,33 @@
+// Package metricbad seeds metric names that break the METRICS.md grammar
+// and a duplicate registration the registry would panic on.
+package metricbad
+
+import "fixture/internal/stats"
+
+// Register exercises the metricname analyzer.
+func Register(r *stats.Registry) {
+	s := r.Scope("node0")
+	s.Counter("good_name")
+	s.Counter("Bad.Name")  // want metricname
+	s.Counter("has-dash")  // want metricname
+	s.Counter("trailing.") // want metricname
+	s.Counter("dup_hits")
+	s.Counter("dup_hits") // want metricname
+	sub := s.Scope("sub")
+	sub.Counter("dup_hits") // same literal on another scope: fine
+	bad := r.Scope("Node0") // want metricname
+	bad.CounterFunc("cycles", func() uint64 { return 0 })
+}
+
+// RegisterTwice shadows receivers: two distinct variables named the same
+// must not be treated as one scope.
+func RegisterTwice(r *stats.Registry) {
+	{
+		t := r.Scope("itlb")
+		t.Counter("hits")
+	}
+	{
+		t := r.Scope("dtlb")
+		t.Counter("hits")
+	}
+}

@@ -3,6 +3,7 @@ package machine
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"smtpsim/internal/addrmap"
 	"smtpsim/internal/cache"
@@ -290,7 +291,15 @@ func (m *Machine) CheckCoherence() error {
 			return fmt.Errorf("node %d: %w", nid, err)
 		}
 	}
-	for line, cs := range copies {
+	// Iterate lines in sorted order so the first violation reported (and
+	// therefore the error text) is the same on every run.
+	lines := make([]uint64, 0, len(copies))
+	for line := range copies {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		cs := copies[line]
 		home := m.AMap.HomeOf(line)
 		e := m.Nodes[home].Dir.Load(line)
 		if e.State.Busy() {

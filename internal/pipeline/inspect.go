@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sort"
 
 	"smtpsim/internal/cache"
 )
@@ -52,10 +53,16 @@ func (p *Pipeline) CheckNoLeaks() error {
 	if len(p.wbPending) != 0 {
 		return fmt.Errorf("%d writebacks never acknowledged", len(p.wbPending))
 	}
-	for line, n := range p.acksWanted {
-		if n != 0 {
-			return fmt.Errorf("line %#x still expects %d invalidation acks", line, n)
+	// Report the lowest leaking line so the error text is deterministic.
+	lines := make([]uint64, 0, len(p.acksWanted))
+	for line := range p.acksWanted {
+		if p.acksWanted[line] != 0 {
+			lines = append(lines, line)
 		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	if len(lines) > 0 {
+		return fmt.Errorf("line %#x still expects %d invalidation acks", lines[0], p.acksWanted[lines[0]])
 	}
 	return nil
 }
