@@ -1,11 +1,12 @@
 # Developer / CI entry points. `make check` is the full gate:
 # formatting, vet, the simlint static-analysis suite, build, the
 # unit/integration suite, the whole suite again under the race detector,
-# and the METRICS.md schema freshness.
+# the METRICS.md schema freshness, and a one-rep smoke of the kernel
+# benchmark harness (`make bench-json` is the full measurement).
 
 GO ?= go
 
-.PHONY: all build test vet fmt test-race lint lint-fix-list metrics-schema metrics-schema-check check
+.PHONY: all build test vet fmt test-race lint lint-fix-list metrics-schema metrics-schema-check bench-json bench-smoke check
 
 all: build
 
@@ -42,6 +43,16 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Kernel speedup record: the full root benchmark suite on the skipping and
+# reference kernels (3 reps each, min kept), written to BENCH_4.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -count 3 -out BENCH_4.json
+
+# Quick end-to-end sanity of the bench harness for `make check`: two small
+# benchmarks, one rep per kernel, result discarded.
+bench-smoke:
+	$(GO) run ./cmd/benchjson -count 1 -bench 'Fig2|AblationBitOps' -out /tmp/bench_smoke.json
+
 # Regenerate the metric-name table of METRICS.md from the registry.
 metrics-schema:
 	$(GO) run ./cmd/metricsdoc
@@ -50,4 +61,4 @@ metrics-schema:
 metrics-schema-check:
 	$(GO) run ./cmd/metricsdoc -check
 
-check: fmt vet lint build test test-race metrics-schema-check
+check: fmt vet lint build test test-race metrics-schema-check bench-smoke

@@ -7,6 +7,7 @@
 package smtpsim_test
 
 import (
+	"flag"
 	"math"
 	"testing"
 
@@ -15,10 +16,20 @@ import (
 	"smtpsim/internal/pipeline"
 )
 
+// -kernel selects the simulation kernel for every benchmark: the default
+// cycle-skipping kernel, or "reference" for the naive always-tick one.
+// cmd/benchjson runs the suite once with each and reports the wall-time
+// ratio per benchmark (BENCH_4.json); results are identical either way
+// (see internal/core's TestKernelDifferential).
+var kernelFlag = flag.String("kernel", "", `simulation kernel: "" (skipping) or "reference"`)
+
 // benchSuite is the shrunken experiment configuration used by every
 // benchmark: 4 nodes stand in for the paper's 16, 8 for its 32.
 func benchSuite() core.Suite {
-	return core.Suite{CPUGHz: 2, Scale: 0.25, Seed: 42}
+	return core.Suite{
+		CPUGHz: 2, Scale: 0.25, Seed: 42,
+		ReferenceKernel: *kernelFlag == "reference",
+	}
 }
 
 const (

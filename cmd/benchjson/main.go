@@ -1,0 +1,152 @@
+// Command benchjson measures the cycle-skipping kernel against the naive
+// reference kernel and records the result as BENCH_4.json. It runs the
+// repository's root benchmark suite twice — once on the default skipping
+// kernel and once with -kernel=reference, which reinstates the seed's
+// always-tick loop and boxed event queue — and writes one JSON record per
+// benchmark with both wall times and their ratio, plus the geometric-mean
+// speedup across the suite.
+//
+// Both sweeps execute the identical simulations (TestKernelDifferential
+// pins byte-identical results), so the ratio isolates kernel cost. Each
+// benchmark runs -count times per kernel and the minimum ns/op is kept:
+// the minimum is the least-interference estimate on a shared host.
+//
+//	go run ./cmd/benchjson                  # full suite, 3 reps, BENCH_4.json
+//	go run ./cmd/benchjson -count 1 -bench Fig2 -out /tmp/smoke.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	ReferenceNs float64 `json:"reference_ns_op"` // seed kernel (always-tick)
+	SkippingNs  float64 `json:"skipping_ns_op"`  // event-driven skipping kernel
+	Speedup     float64 `json:"speedup"`         // reference / skipping
+}
+
+type report struct {
+	GoVersion      string        `json:"go_version"`
+	GOOS           string        `json:"goos"`
+	GOARCH         string        `json:"goarch"`
+	MeasuredAt     string        `json:"measured_at"`
+	Count          int           `json:"count"`
+	BenchPattern   string        `json:"bench_pattern"`
+	Benchmarks     []benchResult `json:"benchmarks"`
+	GeomeanSpeedup float64       `json:"geomean_speedup"`
+}
+
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// runSuite runs the root benchmarks once per rep on the given kernel and
+// returns the minimum ns/op per benchmark name.
+func runSuite(pattern string, count int, kernel string) (map[string]float64, error) {
+	args := []string{"test", ".", "-run", "^$", "-bench", pattern,
+		"-benchtime", "1x", "-count", strconv.Itoa(count)}
+	if kernel != "" {
+		args = append(args, "-kernel="+kernel)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %v: %w\n%s", args, err, out)
+	}
+	times := make(map[string]float64)
+	for _, m := range benchLine.FindAllStringSubmatch(string(out), -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", m[0], err)
+		}
+		if prev, ok := times[m[1]]; !ok || ns < prev {
+			times[m[1]] = ns
+		}
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output of go %v:\n%s", args, out)
+	}
+	return times, nil
+}
+
+func main() {
+	count := flag.Int("count", 3, "repetitions per kernel; the minimum ns/op is kept")
+	pattern := flag.String("bench", ".", "benchmark regexp forwarded to go test -bench")
+	out := flag.String("out", "BENCH_4.json", "output path")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "benchjson: skipping kernel, %d rep(s)...\n", *count)
+	skip, err := runSuite(*pattern, *count, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: reference kernel, %d rep(s)...\n", *count)
+	ref, err := runSuite(*pattern, *count, "reference")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	r := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		// The measurement record is host-side observability, not simulation
+		// state; the wall-clock read cannot leak into any result.
+		MeasuredAt:   time.Now().UTC().Format(time.RFC3339), //simlint:allow determinism -- bench harness records when the host was measured
+		Count:        *count,
+		BenchPattern: *pattern,
+	}
+	names := make([]string, 0, len(skip))
+	for name := range skip {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	logGM := 0.0
+	for _, name := range names {
+		rn, ok := ref[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %s missing from reference sweep\n", name)
+			os.Exit(1)
+		}
+		s := skip[name]
+		r.Benchmarks = append(r.Benchmarks, benchResult{
+			Name: name, ReferenceNs: rn, SkippingNs: s, Speedup: rn / s,
+		})
+		logGM += math.Log(rn / s)
+	}
+	r.GeomeanSpeedup = math.Exp(logGM / float64(len(r.Benchmarks)))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&r); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	for _, b := range r.Benchmarks {
+		fmt.Printf("%-45s %10.0f -> %10.0f ns/op  %5.2fx\n",
+			b.Name, b.ReferenceNs, b.SkippingNs, b.Speedup)
+	}
+	fmt.Printf("geomean speedup: %.3fx (%d benchmarks, count=%d) -> %s\n",
+		r.GeomeanSpeedup, len(r.Benchmarks), r.Count, *out)
+}

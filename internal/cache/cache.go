@@ -68,17 +68,42 @@ type Cache struct {
 	sets  [][]Line
 	clock uint64
 
+	// Shift/mask index decomposition; New guarantees LineSize and the set
+	// count are powers of two.
+	lineShift uint
+	setMask   uint64
+
+	valid int // maintained count of non-Invalid lines
+
 	Hits   uint64
 	Misses uint64
 }
 
-// New builds a cache. The geometry must divide evenly.
+// pow2 reports whether n is a positive power of two.
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// New builds a cache. The geometry must divide evenly, and both LineSize
+// and the implied set count must be powers of two (the index computation
+// is a shift and mask).
 func New(cfg Config) *Cache {
+	if !pow2(cfg.LineSize) {
+		panic(fmt.Sprintf("cache: line size %d is not a power of two (%+v)", cfg.LineSize, cfg))
+	}
+	if cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
+	}
 	sets := cfg.Sets()
 	if sets <= 0 || cfg.Size != sets*cfg.LineSize*cfg.Assoc {
 		panic(fmt.Sprintf("cache: bad geometry %+v", cfg))
 	}
+	if !pow2(sets) {
+		panic(fmt.Sprintf("cache: set count %d is not a power of two (%+v)", sets, cfg))
+	}
 	c := &Cache{cfg: cfg, sets: make([][]Line, sets)}
+	for c.cfg.LineSize>>c.lineShift > 1 {
+		c.lineShift++
+	}
+	c.setMask = uint64(sets - 1)
 	for i := range c.sets {
 		c.sets[i] = make([]Line, cfg.Assoc)
 	}
@@ -93,7 +118,7 @@ func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineS
 
 // SetIndex returns the set index for addr.
 func (c *Cache) SetIndex(addr uint64) int {
-	return int((addr / uint64(c.cfg.LineSize)) % uint64(len(c.sets)))
+	return int((addr >> c.lineShift) & c.setMask)
 }
 
 // Probe returns the line holding addr without updating LRU, or nil.
@@ -142,6 +167,9 @@ func (c *Cache) Fill(addr uint64, st State) (evicted Line) {
 		}
 	}
 	evicted = set[victim]
+	if evicted.State == Invalid {
+		c.valid++
+	}
 	c.clock++
 	set[victim] = Line{Tag: tag, State: st, stamp: c.clock}
 	return evicted
@@ -173,6 +201,7 @@ func (c *Cache) Invalidate(addr uint64) State {
 	if l := c.Probe(addr); l != nil {
 		st := l.State
 		l.State = Invalid
+		c.valid--
 		return st
 	}
 	return Invalid
@@ -181,6 +210,9 @@ func (c *Cache) Invalidate(addr uint64) State {
 // SetState changes the state of a present line (no-op if absent).
 func (c *Cache) SetState(addr uint64, st State) {
 	if l := c.Probe(addr); l != nil {
+		if st == Invalid {
+			c.valid--
+		}
 		l.State = st
 	}
 }
@@ -220,7 +252,13 @@ func (c *Cache) Flush() {
 			c.sets[s][w] = Line{}
 		}
 	}
+	c.valid = 0
 }
+
+// ValidLines returns the number of non-Invalid lines. The count is
+// maintained incrementally by Fill/Invalidate/SetState/Flush rather than
+// scanned, so the valid_lines gauge is O(1) per metrics snapshot.
+func (c *Cache) ValidLines() int { return c.valid }
 
 // Lines calls fn for every valid line (order unspecified). Used by the
 // machine-level coherence invariant checker.
@@ -239,15 +277,5 @@ func (c *Cache) Lines(fn func(tag uint64, st State)) {
 func (c *Cache) RegisterMetrics(s *stats.Scope) {
 	s.CounterFunc("hits", func() uint64 { return c.Hits })
 	s.CounterFunc("misses", func() uint64 { return c.Misses })
-	s.GaugeFunc("valid_lines", func() float64 {
-		n := 0
-		for si := range c.sets {
-			for w := range c.sets[si] {
-				if c.sets[si][w].State != Invalid {
-					n++
-				}
-			}
-		}
-		return float64(n)
-	})
+	s.GaugeFunc("valid_lines", func() float64 { return float64(c.valid) })
 }

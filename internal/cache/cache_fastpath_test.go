@@ -1,0 +1,156 @@
+// Tests for the index fast path (shift/mask set selection, power-of-two
+// geometry validation), the maintained valid-line counter, and the
+// WouldEvict/Fill agreement property.
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"smtpsim/internal/sim"
+)
+
+// TestNonPowerOfTwoGeometryPanics covers each rejected geometry: a
+// non-power-of-two line size, and a dividing geometry whose implied set
+// count is not a power of two.
+func TestNonPowerOfTwoGeometryPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the panic message
+	}{
+		{
+			name: "line size 48",
+			cfg:  Config{Size: 48 * 2 * 8, LineSize: 48, Assoc: 2},
+			want: "line size 48 is not a power of two",
+		},
+		{
+			name: "line size 0",
+			cfg:  Config{Size: 0, LineSize: 0, Assoc: 2},
+			want: "line size 0 is not a power of two",
+		},
+		{
+			name: "zero ways",
+			cfg:  Config{Size: 1024, LineSize: 64, Assoc: 0},
+			want: "bad geometry",
+		},
+		{
+			name: "3 sets",
+			cfg:  Config{Size: 64 * 2 * 3, LineSize: 64, Assoc: 2},
+			want: "set count 3 is not a power of two",
+		},
+		{
+			name: "12 sets",
+			cfg:  Config{Size: 32 * 4 * 12, LineSize: 32, Assoc: 4},
+			want: "set count 12 is not a power of two",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%+v did not panic", tc.cfg)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, tc.want) {
+					t.Fatalf("panic %q does not mention %q", r, tc.want)
+				}
+			}()
+			New(tc.cfg)
+		})
+	}
+}
+
+// TestSetIndexShiftMask pins the shift/mask index against the reference
+// divide/modulo computation across the simulator's real geometries.
+func TestSetIndexShiftMask(t *testing.T) {
+	geometries := []Config{
+		{Size: 32 * 1024, LineSize: 64, Assoc: 2},        // L1I
+		{Size: 32 * 1024, LineSize: 32, Assoc: 2},        // L1D
+		{Size: 2 * 1024 * 1024, LineSize: 128, Assoc: 8}, // L2
+		{Size: 64 * 16, LineSize: 64, Assoc: 16},         // bypass (1 set)
+	}
+	r := sim.NewRand(3)
+	for _, g := range geometries {
+		c := New(g)
+		for i := 0; i < 10000; i++ {
+			addr := r.Uint64()
+			want := int((addr / uint64(g.LineSize)) % uint64(g.Sets()))
+			if got := c.SetIndex(addr); got != want {
+				t.Fatalf("%+v: SetIndex(%#x) = %d, want %d", g, addr, got, want)
+			}
+		}
+	}
+}
+
+// countValid is the scan the maintained counter replaced.
+func countValid(c *Cache) int {
+	n := 0
+	c.Lines(func(uint64, State) { n++ })
+	return n
+}
+
+// TestValidLineCounterTracksScan drives a random mutation sequence through
+// every operation that can change line validity and checks the O(1)
+// counter against a full scan after each step.
+func TestValidLineCounterTracksScan(t *testing.T) {
+	c := New(Config{Size: 2048, LineSize: 64, Assoc: 4}) // 8 sets
+	r := sim.NewRand(17)
+	states := []State{Shared, Exclusive, Modified}
+	for i := 0; i < 5000; i++ {
+		addr := uint64(r.Intn(64)) * 64 // 64 lines over 8 sets
+		switch r.Intn(6) {
+		case 0, 1:
+			c.Fill(addr, states[r.Intn(len(states))])
+		case 2:
+			c.Invalidate(addr)
+		case 3:
+			c.SetState(addr, states[r.Intn(len(states))])
+		case 4:
+			c.SetState(addr, Invalid)
+		case 5:
+			c.InvalidateRange(addr, 128)
+		}
+		if c.ValidLines() != countValid(c) {
+			t.Fatalf("after op %d: counter %d, scan %d", i, c.ValidLines(), countValid(c))
+		}
+	}
+	c.Flush()
+	if c.ValidLines() != 0 {
+		t.Fatalf("counter %d after Flush, want 0", c.ValidLines())
+	}
+}
+
+// TestWouldEvictPredictsFillRandom is the property test: over random
+// access sequences, the line WouldEvict predicts is exactly the line Fill
+// then evicts — a real victim when the set is full of other lines, and a
+// free way (Invalid) when the line is present or a way is free.
+func TestWouldEvictPredictsFillRandom(t *testing.T) {
+	c := New(Config{Size: 1024, LineSize: 64, Assoc: 4}) // 4 sets, 4 ways
+	r := sim.NewRand(29)
+	states := []State{Shared, Exclusive, Modified}
+	evictions := 0
+	for i := 0; i < 20000; i++ {
+		addr := uint64(r.Intn(48)) * 64 // 48 lines over 4 sets: sets fill up
+		if r.Intn(8) == 0 {
+			c.Invalidate(uint64(r.Intn(48)) * 64) // keep free ways in play
+		}
+		predicted := c.WouldEvict(addr)
+		got := c.Fill(addr, states[r.Intn(len(states))])
+		if predicted.State == Invalid {
+			if got.State != Invalid {
+				t.Fatalf("op %d addr %#x: predicted no eviction, Fill evicted %+v",
+					i, addr, got)
+			}
+			continue
+		}
+		evictions++
+		if got.Tag != predicted.Tag || got.State != predicted.State {
+			t.Fatalf("op %d addr %#x: predicted eviction of %+v, Fill evicted %+v",
+				i, addr, predicted, got)
+		}
+	}
+	if evictions == 0 {
+		t.Fatal("sequence never exercised a real eviction")
+	}
+}

@@ -80,6 +80,12 @@ type Config struct {
 	// when the run outlives the buffer, the oldest samples are dropped and
 	// Series.Dropped counts them).
 	MetricsDepth int
+
+	// ReferenceKernel runs on the naive always-tick simulation kernel
+	// instead of the cycle-skipping one. Results are observably identical
+	// (pinned by TestKernelDifferential); this exists as the differential
+	// oracle and for before/after wall-time comparisons.
+	ReferenceKernel bool
 }
 
 // Validate reports whether the configuration describes a machine the
@@ -165,6 +171,10 @@ type Result struct {
 	WallTime       time.Duration
 	CyclesPerSec   float64
 	HeapInuseBytes uint64
+	// SkippedCycles is how many simulated cycles the kernel elided via
+	// quiescence skipping (0 on the reference kernel). Host-side
+	// observability like WallTime: excluded from WriteRunJSON.
+	SkippedCycles uint64
 
 	// Execution-time split (averaged over application threads).
 	MemStallFrac float64
@@ -277,10 +287,13 @@ func RunWorkloadContext(ctx context.Context, cfg Config, w *workload.Workload) *
 		Protocol:       cfg.Protocol,
 		SampleInterval: cfg.MetricsInterval,
 		SampleCapacity: cfg.MetricsDepth,
+
+		ReferenceKernel: cfg.ReferenceKernel,
 	})
 	workload.Attach(m, w)
 	cycles, done := m.RunContext(ctx, cfg.MaxCycles)
 	r := harvest(cfg, m, cycles, done)
+	r.SkippedCycles = m.Eng.SkippedCycles()
 	if !done && ctx.Err() != nil {
 		r.Err = ctx.Err()
 	}

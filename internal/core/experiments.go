@@ -22,6 +22,10 @@ type Suite struct {
 	// MaxCycles bounds each run; 0 = default.
 	MaxCycles uint64
 
+	// ReferenceKernel runs every simulation on the naive always-tick kernel
+	// (see Config.ReferenceKernel); output is identical, only slower.
+	ReferenceKernel bool
+
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
 	Workers int
 	// Progress, when set, observes every finished run of every driver.
@@ -43,6 +47,8 @@ func (s Suite) cfg(model Model, app App, nodes, way int) Config {
 		Scale:      s.Scale,
 		Seed:       s.Seed,
 		MaxCycles:  sim.Cycle(s.MaxCycles),
+
+		ReferenceKernel: s.ReferenceKernel,
 	}
 }
 

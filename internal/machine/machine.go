@@ -69,6 +69,12 @@ type Config struct {
 	// SampleCapacity bounds the time-series ring buffer (0 = 1024 samples;
 	// older samples are dropped, newest kept).
 	SampleCapacity int
+
+	// ReferenceKernel builds the machine on the naive always-tick simulation
+	// kernel instead of the cycle-skipping one. The two are observably
+	// identical (the differential tests pin this); the reference kernel
+	// exists as that test's oracle and for kernel-bug bisection.
+	ReferenceKernel bool
 }
 
 // Machine is a built system.
@@ -99,9 +105,13 @@ func New(cfg Config) *Machine {
 	if cfg.AppThreads == 0 {
 		cfg.AppThreads = 1
 	}
+	eng := sim.NewEngine()
+	if cfg.ReferenceKernel {
+		eng = sim.NewReferenceEngine()
+	}
 	m := &Machine{
 		Cfg:  cfg,
-		Eng:  sim.NewEngine(),
+		Eng:  eng,
 		Sync: NewSyncManager(),
 		AMap: addrmap.NewMap(cfg.Nodes),
 		Reg:  stats.NewRegistry(),
@@ -114,6 +124,7 @@ func New(cfg Config) *Machine {
 	}, m.Eng, func(msg *network.Message) {
 		m.Nodes[msg.Dst].OnNetMessage(msg)
 	})
+	m.Eng.AddQuiescer(m.Net)
 
 	smtp := cfg.Model == SMTp
 	mcDiv := sim.Cycle(2)
@@ -171,6 +182,9 @@ func New(cfg Config) *Machine {
 			MCClockDiv: mcDiv,
 			Protocol:   cfg.Protocol,
 		}))
+	}
+	m.Sync.onWake = func(gtid int) {
+		m.Nodes[gtid/cfg.AppThreads].Pipe.Wake()
 	}
 	m.Net.RegisterMetrics(m.Reg.Scope("net"))
 	for i, n := range m.Nodes {
@@ -243,12 +257,26 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles sim.Cycle) (sim.Cycl
 	if ctx.Err() != nil {
 		return 0, false
 	}
+	// Lazily-deferred core ticks must be settled before callers read any
+	// component state (statistics harvest, coherence checks).
+	defer m.Eng.FlushDeferred()
 	start := m.Eng.Now()
+	limit := start + maxCycles
+	if limit < start {
+		limit = sim.NoWork // wrapped: effectively unbounded
+	}
 	batches := 0
-	for m.Eng.Now()-start < maxCycles {
-		// Check termination periodically (it walks all queues).
-		for i := 0; i < 256 && m.Eng.Now()-start < maxCycles; i++ {
-			m.Eng.Step()
+	for m.Eng.Now() < limit {
+		// Advance in 256-cycle batches, checking termination at each batch
+		// boundary (it walks all queues). Bounding each Advance at the batch
+		// end keeps the Done-poll cadence — and therefore the reported cycle
+		// count — identical between the skipping and reference kernels.
+		batchEnd := m.Eng.Now() + 256
+		if batchEnd > limit || batchEnd < m.Eng.Now() {
+			batchEnd = limit
+		}
+		for m.Eng.Now() < batchEnd {
+			m.Eng.Advance(batchEnd)
 		}
 		if m.Done() {
 			return m.Eng.Now() - start, true

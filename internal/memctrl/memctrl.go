@@ -72,6 +72,7 @@ type MC struct {
 	local      []*network.Message
 	in         [network.NumVCs][]*network.Message
 	localFirst bool
+	queued     int // live messages across local+in (excludes in-transit slots)
 
 	sdramBusy sim.Cycle
 	memReads  map[uint64]sim.Cycle // line -> SDRAM data ready time
@@ -116,17 +117,20 @@ func (mc *MC) RegisterMetrics(s *stats.Scope) {
 	}
 }
 
-// sampleQueues records the input-queue depths for the queue.* peaks.
-func (mc *MC) sampleQueues() {
+// sampleQueuesN records the input-queue depths for the queue.* peaks, as n
+// consecutive identical MC-clock samples (n is 1 on a real tick; the number
+// of elided ticks when the kernel skips an idle window, during which the
+// queues are necessarily frozen).
+func (mc *MC) sampleQueuesN(count uint64) {
 	n := 0
 	for i := range mc.local {
 		if mc.local[i] != nil {
 			n++
 		}
 	}
-	mc.localDepth.Sample(n)
+	mc.localDepth.SampleN(n, count)
 	for vc := range mc.in {
-		mc.vcDepth[vc].Sample(len(mc.in[vc]))
+		mc.vcDepth[vc].SampleN(len(mc.in[vc]), count)
 	}
 }
 
@@ -174,10 +178,12 @@ func (mc *MC) EnqueueLocal(m *network.Message) bool {
 		return true
 	}
 	mc.local = append(mc.local, m)
+	mc.queued++
 	return true
 }
 
 func (mc *MC) localDeferred(m *network.Message) {
+	mc.queued++
 	for i := range mc.local {
 		if mc.local[i] == nil {
 			mc.local[i] = m
@@ -191,20 +197,12 @@ func (mc *MC) localDeferred(m *network.Message) {
 // input queue.
 func (mc *MC) EnqueueNet(m *network.Message) {
 	mc.in[m.VC] = append(mc.in[m.VC], m)
+	mc.queued++
 }
 
 // QueuedMessages reports the total queued (drain checking).
 func (mc *MC) QueuedMessages() int {
-	n := 0
-	for i := range mc.local {
-		if mc.local[i] != nil {
-			n++
-		}
-	}
-	for _, q := range mc.in {
-		n += len(q)
-	}
-	return n
+	return mc.queued
 }
 
 // sdramRead starts (or merges into) a read of line, returning the cycle the
@@ -285,6 +283,7 @@ func (mc *MC) popIn(vc network.VC) *network.Message {
 	}
 	m := q[0]
 	mc.in[vc] = q[1:]
+	mc.queued--
 	return m
 }
 
@@ -292,6 +291,7 @@ func (mc *MC) popLocal() *network.Message {
 	for i, m := range mc.local {
 		if m != nil {
 			mc.local = append(mc.local[:i], mc.local[i+1:]...)
+			mc.queued--
 			return m
 		}
 	}
@@ -301,7 +301,7 @@ func (mc *MC) popLocal() *network.Message {
 // Tick runs the handler dispatch unit: one dispatch per MC clock when the
 // backend has room. Registered with the engine at period cfg.ClockDiv.
 func (mc *MC) Tick(now sim.Cycle) {
-	mc.sampleQueues()
+	mc.sampleQueuesN(1)
 	if mc.back == nil || !mc.back.CanAccept() {
 		return
 	}
@@ -310,6 +310,29 @@ func (mc *MC) Tick(now sim.Cycle) {
 		return
 	}
 	mc.dispatch(m)
+}
+
+// NextWork implements sim.Quiescer. With queued messages the controller has
+// work every MC clock; with empty queues nothing happens until a message
+// arrives — and every arrival path (EnqueueLocal, EnqueueNet, localDeferred)
+// runs from a busy component's tick or a scheduled event, both of which
+// bound the kernel's skip on their own.
+func (mc *MC) NextWork(now sim.Cycle) (sim.Cycle, bool) {
+	if mc.queued > 0 {
+		return 0, false
+	}
+	return sim.NoWork, true
+}
+
+// Skipped implements sim.SkipAware: n elided idle MC clocks each sample the
+// (frozen, empty-of-live-messages) queue depths, and — when the backend
+// could accept — each run pick() far enough to toggle the local/network
+// fairness bit before finding nothing to dispatch.
+func (mc *MC) Skipped(n uint64, _ sim.Cycle) {
+	mc.sampleQueuesN(n)
+	if mc.back != nil && mc.back.CanAccept() && n%2 == 1 {
+		mc.localFirst = !mc.localFirst
+	}
 }
 
 func (mc *MC) dispatch(m *network.Message) {

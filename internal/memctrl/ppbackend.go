@@ -32,3 +32,14 @@ func (b *PPBackend) Start(trace []isa.Instr) {
 
 // Tick implements sim.Clocked.
 func (b *PPBackend) Tick(now sim.Cycle) { b.Engine.Tick(now) }
+
+// NextWork implements sim.Quiescer: an idle protocol processor's tick is a
+// pure no-op (it holds no trace and samples nothing), so it never bounds a
+// skip; a busy one must tick every cycle. It needs no SkipAware hook for
+// the same reason.
+func (b *PPBackend) NextWork(now sim.Cycle) (sim.Cycle, bool) {
+	if b.Engine.Busy() {
+		return 0, false
+	}
+	return sim.NoWork, true
+}

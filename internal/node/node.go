@@ -94,10 +94,15 @@ func New(cfg Config) *Node {
 		n.MC.SetBackend(n.Pipe.Backend())
 	}
 	cfg.Engine.AddClocked(n.Pipe, 1, 0)
+	// The core ticks lazily: due-but-idle cycles defer until input arrives
+	// (every external mutation path funnels through Pipeline.extInput).
+	n.Pipe.BindLazy(cfg.Engine.MakeLazy(n.Pipe))
 	if n.PP != nil {
 		cfg.Engine.AddClocked(n.PP, cfg.MCClockDiv, 0)
 	}
-	cfg.Engine.AddClocked(sim.ClockedFunc(n.MC.Tick), cfg.MCClockDiv, 0)
+	// The MC registers as itself (not a ClockedFunc wrapper) so the engine
+	// sees its Quiescer/SkipAware implementations.
+	cfg.Engine.AddClocked(n.MC, cfg.MCClockDiv, 0)
 	return n
 }
 

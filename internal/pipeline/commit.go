@@ -20,6 +20,7 @@ func (p *Pipeline) commit(now sim.Cycle) {
 			if u == nil || !p.retireable(u, t, now) {
 				break
 			}
+			p.active = true
 			p.retire(u, t, now)
 			width--
 		}
@@ -37,6 +38,12 @@ func (p *Pipeline) retireable(u *uop, t *thread, now sim.Cycle) bool {
 		}
 		return p.qSpace(len(p.storeBuf), p.cfg.StoreBuffer, t.isProtocol)
 	case isa.OpSyncWait:
+		if !u.polled {
+			// The first poll registers arrival with the sync manager — a
+			// real state change; repeat polls of a blocked wait are pure.
+			u.polled = true
+			p.active = true
+		}
 		return p.sync != nil && p.sync.SyncPoll(t.id, u.in.SyncTok)
 	case isa.OpSwitch:
 		return p.proto.switchReady()

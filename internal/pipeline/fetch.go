@@ -78,16 +78,7 @@ func (p *Pipeline) fetch(now sim.Cycle) {
 	if len(cands) == 0 {
 		return
 	}
-	// Stable insertion sort by ICOUNT (at most a handful of contexts).
-	for i := 1; i < len(cands); i++ {
-		t := cands[i]
-		j := i - 1
-		for j >= 0 && cands[j].frontCount > t.frontCount {
-			cands[j+1] = cands[j]
-			j--
-		}
-		cands[j+1] = t
-	}
+	sortByICount(cands)
 	// Up to FetchThreads threads may supply instructions; a candidate that
 	// cannot place a single instruction (its section of the decode queue is
 	// full, or its I-fetch just missed) does not consume a slot — otherwise
@@ -106,7 +97,8 @@ func (p *Pipeline) fetch(now sim.Cycle) {
 			}
 			in := p.nextFetch(t)
 			if !t.wrongPath && !p.itlbCheck(t, in.PC, now) {
-				break // ITLB miss: page walk in progress
+				p.active = true // TLB fill + page-walk stall armed
+				break           // ITLB miss: page walk in progress
 			}
 			if !t.wrongPath && !p.ifetchHit(t, in.PC, now) {
 				break // I-cache miss: fill started, thread blocked
@@ -114,6 +106,7 @@ func (p *Pipeline) fetch(now sim.Cycle) {
 			if !p.qSpace(len(p.decodeQ), p.cfg.DecodeQ, t.isProtocol) {
 				break
 			}
+			p.active = true
 			p.consumeFetch(t)
 			p.seq++
 			u := p.newUop()
@@ -144,6 +137,22 @@ func (p *Pipeline) fetch(now sim.Cycle) {
 		if fetched > 0 {
 			threadsUsed++
 		}
+	}
+}
+
+// sortByICount stable-insertion-sorts fetch candidates by front-end
+// instruction count (at most a handful of contexts). Shared by fetch and
+// Skipped so elided cycles visit candidates in the same order real ones
+// would.
+func sortByICount(cands []*thread) {
+	for i := 1; i < len(cands); i++ {
+		t := cands[i]
+		j := i - 1
+		for j >= 0 && cands[j].frontCount > t.frontCount {
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = t
 	}
 }
 
@@ -182,6 +191,9 @@ func (p *Pipeline) ifetchHit(t *thread, pc uint64, now sim.Cycle) bool {
 		// code conflicts in one set.
 		return true
 	}
+	// Off the stream buffer every path below touches cache LRU/counters or
+	// starts a fill: not skippable.
+	p.active = true
 	if p.l1i.Access(pc) != nil {
 		t.streamLine = line
 		return true
@@ -203,7 +215,7 @@ func (p *Pipeline) ifetchHit(t *thread, pc uint64, now sim.Cycle) bool {
 	}
 	// L2 (and its bypass buffer) backs the I-cache.
 	if p.l2.Access(pc) != nil || (t.isProtocol && p.l2byp.Access(pc) != nil) {
-		p.eng.After(sim.Cycle(p.cfg.L2HitCyc), fill)
+		p.after(sim.Cycle(p.cfg.L2HitCyc), fill)
 		return false
 	}
 	l2line := p.l2.LineAddr(pc)
@@ -216,9 +228,9 @@ func (p *Pipeline) ifetchHit(t *thread, pc uint64, now sim.Cycle) bool {
 		fill()
 	}
 	if t.isProtocol {
-		p.down.ProtocolMiss(l2line, fillL2)
+		p.down.ProtocolMiss(l2line, p.settled(fillL2))
 	} else {
-		p.down.IMiss(l2line, fillL2)
+		p.down.IMiss(l2line, p.settled(fillL2))
 	}
 	return false
 }

@@ -49,6 +49,7 @@ func (p *Pipeline) issueQueue(q *[]*uop, units int, now sim.Cycle) {
 		if issued == units {
 			break
 		}
+		p.active = true
 		u.issued = true
 		u.inIQ = false
 		*q = removeUop(*q, u)
@@ -111,6 +112,10 @@ func (p *Pipeline) issueMem(now sim.Cycle) {
 	}
 	sortBySeq(cands)
 	p.memScratch = cands[:0]
+	if len(cands) > 0 {
+		// Even a failed attempt touches TLBs, caches and MSHR counters.
+		p.active = true
+	}
 	// One AGU: the oldest candidate that can make progress issues. An op
 	// blocked on a structural resource (MSHRs exhausted) must not starve
 	// younger ops from other threads — in particular the protocol thread's
@@ -131,12 +136,14 @@ func (p *Pipeline) writeback(now sim.Cycle) {
 	kept := p.inflight[:0]
 	for _, u := range p.inflight {
 		if u.squashed {
+			p.active = true // dropping a squashed op shrinks inflight
 			continue
 		}
 		if u.doneAt > now {
 			kept = append(kept, u)
 			continue
 		}
+		p.active = true
 		p.complete(u, now)
 	}
 	p.inflight = kept

@@ -92,7 +92,7 @@ func (p *Pipeline) sendPI(t coherence.MsgType, line uint64) {
 	m := &network.Message{Type: uint8(t), Addr: line}
 	if !p.down.EnqueueLocal(m) {
 		p.SendPISpins++
-		p.eng.After(4, func() { p.sendPI(t, line) })
+		p.after(4, func() { p.sendPI(t, line) })
 	}
 }
 
@@ -198,14 +198,14 @@ func (p *Pipeline) protoL2Miss(u *uop, line uint64, addr uint64, isStore bool) {
 	if e == nil {
 		// Reserved entry is in use; retry shortly.
 		p.ProtoRetrySpins++
-		p.eng.After(2, func() { p.protoL2Miss(u, line, addr, isStore) })
+		p.after(2, func() { p.protoL2Miss(u, line, addr, isStore) })
 		return
 	}
 	if u != nil {
 		u.waitingMem = true
 		e.Waiters = append(e.Waiters, u)
 	}
-	p.down.ProtocolMiss(line, func() {
+	p.down.ProtocolMiss(line, p.settled(func() {
 		st := cache.Exclusive
 		if addrmap.IsDirectory(line) {
 			st = cache.Modified // local-only data, writable immediately
@@ -228,7 +228,7 @@ func (p *Pipeline) protoL2Miss(u *uop, line uint64, addr uint64, isStore bool) {
 			}
 		}
 		p.mshr.Free(e)
-	})
+	}))
 }
 
 // fillL1D installs the L1D subline for addr (after an L2 hit or refill).
@@ -321,6 +321,7 @@ func (p *Pipeline) issueMissRequest(e *cache.MSHREntry) {
 // L2 (and requesting L1D sublines), waiters finish, and eager-exclusive
 // invalidation acks start being collected.
 func (p *Pipeline) DeliverRefill(line uint64, st cache.State, acks int, upgrade bool) {
+	p.extInput()
 	e := p.mshr.Find(line)
 	if acks != 0 {
 		p.acksWanted[line] += acks
@@ -362,12 +363,13 @@ func (p *Pipeline) DeliverRefill(line uint64, st cache.State, acks int, upgrade 
 // DeliverNak retries a NAKed transaction after a backoff (the request may
 // change flavour: a lost upgrade becomes a read-exclusive).
 func (p *Pipeline) DeliverNak(line uint64) {
+	p.extInput()
 	e := p.mshr.Find(line)
 	if e == nil {
 		return
 	}
 	e.Issued = false
-	p.eng.After(sim.Cycle(p.cfg.NakBackoff), func() {
+	p.after(sim.Cycle(p.cfg.NakBackoff), func() {
 		if cur := p.mshr.Find(line); cur == e && !e.Issued {
 			p.issueMissRequest(e)
 		}
@@ -378,6 +380,7 @@ func (p *Pipeline) DeliverNak(line uint64) {
 // before the data reply announcing how many to expect, so the counter can
 // go negative transiently).
 func (p *Pipeline) DeliverIAck(line uint64) {
+	p.extInput()
 	p.acksWanted[line]--
 	if p.acksWanted[line] == 0 {
 		delete(p.acksWanted, line)
@@ -386,6 +389,7 @@ func (p *Pipeline) DeliverIAck(line uint64) {
 
 // DeliverWBAck completes a writeback.
 func (p *Pipeline) DeliverWBAck(line uint64) {
+	p.extInput()
 	delete(p.wbPending, line)
 }
 
@@ -451,6 +455,9 @@ scan:
 			blocked = append(blocked, line)
 			continue
 		}
+		// Even a failed drain attempt mutates counters (MSHR alloc failures,
+		// spin statistics) or hierarchy state: not skippable.
+		p.active = true
 		if p.tryDrainStore(cand) {
 			break // one store made progress this cycle
 		}
@@ -508,9 +515,9 @@ func (p *Pipeline) drainProtoStore(e *storeEntry, addr uint64) {
 			return
 		}
 		p.StorePollSpins++
-		p.eng.After(4, poll)
+		p.after(4, poll)
 	}
-	p.eng.After(4, poll)
+	p.after(4, poll)
 }
 
 // performStore writes a (committed) store's data into the hierarchy and

@@ -152,6 +152,7 @@ type uop struct {
 	squashed   bool
 	doneAt     sim.Cycle
 	waitingMem bool // load parked on an MSHR
+	polled     bool // head-of-ROB sync wait has registered its first poll
 
 	wrongPath bool
 }
@@ -203,6 +204,18 @@ type Pipeline struct {
 	ckptsArr []checkpoint
 	inflight []*uop
 	commitRR int
+
+	// Kernel fast-path state (see DESIGN.md, "Kernel fast path"). active is
+	// derived fresh each Tick: did this cycle change any state beyond the
+	// per-cycle deltas Skipped re-applies? wake latches external input
+	// (refill deliveries, protocol dispatch, sync releases) that arrives
+	// between this core's ticks and could unblock it without any local
+	// timer firing.
+	active bool
+	wake   bool
+	// lazyH settles lazily-deferred ticks of this core (nil when the core
+	// is not registered for lazy ticking, e.g. in unit tests).
+	lazyH *sim.TickHandle
 
 	// Reused per-cycle scratch (allocation-free steady state).
 	scratch      []*uop
@@ -347,6 +360,7 @@ func (p *Pipeline) SetSource(tid int, src InstrSource) {
 	if tid == p.ProtoTID() {
 		panic("pipeline: protocol thread source is the handler dispatch unit")
 	}
+	p.extInput() // a fresh stream can make an idle thread fetchable
 	p.threads[tid].source = src
 }
 
@@ -377,6 +391,8 @@ func (p *Pipeline) AppDone() bool {
 // flow with single-cycle latency between adjacent stages.
 func (p *Pipeline) Tick(now sim.Cycle) {
 	p.Cycles++
+	p.active = false
+	p.wake = false
 	p.commit(now)
 	p.writeback(now)
 	p.issue(now)
@@ -384,5 +400,119 @@ func (p *Pipeline) Tick(now sim.Cycle) {
 	p.rename(now)
 	p.decode(now)
 	p.fetch(now)
-	p.sampleStats(now)
+	p.sampleStats(now, 1)
+}
+
+// Wake marks external input: anything that mutates pipeline-visible state
+// from outside Tick (refill/NAK/ack deliveries, protocol handler dispatch,
+// sync barrier or lock releases, source installation) must call it so the
+// core is re-examined on its next tick instead of being skipped over.
+func (p *Pipeline) Wake() { p.extInput() }
+
+// BindLazy installs the engine's lazy-tick handle for this core (see
+// sim.MakeLazy). Must be called before the run starts.
+func (p *Pipeline) BindLazy(h *sim.TickHandle) { p.lazyH = h }
+
+// extInput is the single funnel for externally-driven state change: it
+// settles any lazily-deferred idle ticks against the still-untouched state,
+// then latches the wake bit so the next tick runs live. Every mutation of
+// core state from outside Tick must pass through here BEFORE touching
+// anything, or the lazy kernel would reconstruct the deferred ticks from
+// post-input state.
+func (p *Pipeline) extInput() {
+	if p.lazyH != nil {
+		p.lazyH.Settle()
+	}
+	p.wake = true
+}
+
+// after schedules fn like sim.Engine.After, re-entering through extInput:
+// a closure the core schedules for itself (cache-fill completions, retry
+// backoffs, drain polls) mutates core state when it fires, which from the
+// lazy kernel's point of view is external input like any other.
+func (p *Pipeline) after(d sim.Cycle, fn func()) {
+	p.eng.After(d, func() {
+		p.extInput()
+		fn()
+	})
+}
+
+// settled wraps a callback handed to the downstream memory system so it
+// re-enters through extInput when the miss resolves.
+func (p *Pipeline) settled(fn func()) func() {
+	return func() {
+		p.extInput()
+		fn()
+	}
+}
+
+// NextWork implements sim.Quiescer. The core is busy whenever its last
+// tick did real work or external input has arrived since; otherwise its
+// only self-scheduled work is timer-driven — in-flight executions
+// completing (doneAt) and per-thread fetch stalls expiring — and the
+// earliest such timer bounds the skip. Everything else that could unblock
+// the core arrives via scheduled events or Wake, which the engine and the
+// senders account for.
+func (p *Pipeline) NextWork(now sim.Cycle) (sim.Cycle, bool) {
+	if p.active || p.wake {
+		return 0, false
+	}
+	next := sim.NoWork
+	for _, u := range p.inflight {
+		if u.doneAt < next {
+			next = u.doneAt
+		}
+	}
+	for _, t := range p.threads {
+		// >= now, not > now: the lazy kernel consults NextWork at the
+		// core's own tick slot, where a stall expiring this very cycle
+		// (the thread fetches again now) must read as present work.
+		if t.fetchStallUntil >= now && t.fetchStallUntil < next {
+			next = t.fetchStallUntil
+		}
+	}
+	return next, true
+}
+
+// Skipped implements sim.SkipAware: it applies the per-cycle deltas of n
+// elided idle ticks exactly as n real ticks on the frozen state would
+// have. An idle tick still (a) counts a cycle, (b) advances the
+// round-robin graduation pointer, (c) samples a switch stall when the
+// protocol thread's OpSwitch head is blocked on an empty dispatch queue,
+// (d) re-probes every fetchable thread — a wrong-path thread synthesizes
+// and discards one dummy per cycle, an application thread re-translates
+// its next PC in the ITLB (a guaranteed hit, or the tick would have been
+// active) — and (e) samples the per-thread stall and protocol-occupancy
+// statistics. Candidates are visited in fetch's ICOUNT order so ITLB
+// recency updates interleave exactly as the reference engine's would.
+func (p *Pipeline) Skipped(n uint64, last sim.Cycle) {
+	p.Cycles += n
+	nctx := len(p.threads)
+	p.commitRR = (p.commitRR + int(n%uint64(nctx))) % nctx
+	now := last // the last elided cycle; any cycle in the window answers alike
+	if p.proto != nil && len(p.proto.queue) <= 1 {
+		if u := p.threads[p.ProtoTID()].robPeek(); u != nil && u.in.Op == isa.OpSwitch {
+			p.proto.SwitchStallCycles += n
+		}
+	}
+	cands := p.fetchCands[:0]
+	for _, t := range p.threads {
+		if p.fetchable(t, now) {
+			cands = append(cands, t)
+		}
+	}
+	p.fetchCands = cands[:0]
+	sortByICount(cands)
+	for _, t := range cands {
+		if t.wrongPath {
+			t.wrongSeq += n
+			t.wrongPC += 4 * n
+			continue
+		}
+		if t.isProtocol || p.itlb == nil {
+			continue
+		}
+		p.itlb.skipHits(t.source.Peek().PC, n)
+	}
+	p.sampleStats(now, n)
 }

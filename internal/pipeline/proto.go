@@ -162,6 +162,10 @@ func (b *ProtoBackend) CanAccept() bool {
 
 // Start implements memctrl.Backend.
 func (b *ProtoBackend) Start(trace []isa.Instr) {
+	// Dispatch can raise PPCV and unblock a parked switch: external input.
+	// Settle before growing the queue — Skipped's switch-stall sampling
+	// reads the pre-dispatch queue depth.
+	b.p.extInput()
 	ps := b.p.proto
 	if len(ps.queue) >= 2 {
 		panic("pipeline: protocol dispatch overflow")
@@ -173,8 +177,10 @@ func (b *ProtoBackend) Start(trace []isa.Instr) {
 // sampleStats gathers the per-cycle statistics used by the paper's tables:
 // memory-stall cycles per application thread (graduation blocked with a
 // memory operation at the head of the active list) and the protocol
-// thread's resource occupancy peaks.
-func (p *Pipeline) sampleStats(now sim.Cycle) {
+// thread's resource occupancy peaks. n is the number of consecutive cycles
+// the sample covers (1 on a real tick; the elided-window length when the
+// kernel skips, during which all the sampled state is frozen).
+func (p *Pipeline) sampleStats(now sim.Cycle, n uint64) {
 	for i := 0; i < p.cfg.AppThreads; i++ {
 		t := p.threads[i]
 		if u := t.robPeek(); u != nil && u.in.Op.IsMem() && u.stage != sDone {
@@ -182,7 +188,7 @@ func (p *Pipeline) sampleStats(now sim.Cycle) {
 			// unless it is merely waiting for a store-buffer slot.
 			if u.in.Op != isa.OpStore || u.executed {
 				if !(u.in.Op == isa.OpStore && p.qSpace(len(p.storeBuf), p.cfg.StoreBuffer, false)) {
-					p.MemStallCycles[i]++
+					p.MemStallCycles[i] += n
 				}
 			}
 		}
@@ -191,7 +197,7 @@ func (p *Pipeline) sampleStats(now sim.Cycle) {
 		return
 	}
 	if p.proto.active() {
-		p.ProtoActiveCyc++
+		p.ProtoActiveCyc += n
 		pt := p.threads[p.ProtoTID()]
 		// Branch-stack entries held by the protocol thread.
 		brs := 0
@@ -202,7 +208,7 @@ func (p *Pipeline) sampleStats(now sim.Cycle) {
 				}
 			}
 		}
-		p.ProtoOccBrStack.Sample(brs)
+		p.ProtoOccBrStack.SampleN(brs, n)
 		// Integer registers: the 32 architecturally mapped plus in-flight
 		// renames not yet released.
 		regs := 32
@@ -212,20 +218,20 @@ func (p *Pipeline) sampleStats(now sim.Cycle) {
 				regs++
 			}
 		}
-		p.ProtoOccIntReg.Sample(regs)
+		p.ProtoOccIntReg.SampleN(regs, n)
 		iq := 0
 		for _, u := range p.intQ {
 			if u.tid == pt.id {
 				iq++
 			}
 		}
-		p.ProtoOccIQ.Sample(iq)
+		p.ProtoOccIQ.SampleN(iq, n)
 		lsq := 0
 		for _, u := range p.lsq {
 			if u.tid == pt.id {
 				lsq++
 			}
 		}
-		p.ProtoOccLSQ.Sample(lsq)
+		p.ProtoOccLSQ.SampleN(lsq, n)
 	}
 }

@@ -81,12 +81,14 @@ func (p *Pipeline) decode(now sim.Cycle) {
 				continue
 			}
 			if u.squashed {
+				p.active = true
 				p.decodeQ = append(p.decodeQ[:i], p.decodeQ[i+1:]...)
 				continue
 			}
 			if !p.qSpace(len(p.renameQ), p.cfg.RenameQ, u.tid == protoTID) {
 				break // in-order within the section
 			}
+			p.active = true
 			p.decodeQ = append(p.decodeQ[:i], p.decodeQ[i+1:]...)
 			u.stage = sDecoded
 			p.renameQ = append(p.renameQ, u)
@@ -115,12 +117,14 @@ func (p *Pipeline) rename(now sim.Cycle) {
 				continue
 			}
 			if u.squashed {
+				p.active = true
 				p.renameQ = append(p.renameQ[:i], p.renameQ[i+1:]...)
 				continue
 			}
 			if !p.tryRename(u, now) {
 				break // in-order within the section
 			}
+			p.active = true
 			p.renameQ = append(p.renameQ[:i], p.renameQ[i+1:]...)
 			width--
 		}

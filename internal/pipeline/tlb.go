@@ -19,6 +19,7 @@ type tlb struct {
 	valid []bool
 	stamp []uint64
 	clock uint64
+	last  int // entry of the most recent hit or fill: probed before scanning
 
 	Hits   uint64
 	Misses uint64
@@ -33,14 +34,23 @@ func newTLB(entries int) *tlb {
 }
 
 // lookup translates addr, filling on miss; reports whether it hit.
+// Consecutive lookups overwhelmingly land on the same page, so the entry
+// that hit (or filled) last time is probed before the associative scan;
+// a fast-path hit updates exactly the state a scan hit would.
 func (t *tlb) lookup(addr uint64) bool {
 	page := addrmap.PageOf(addr)
 	t.clock++
+	if l := t.last; t.valid[l] && t.pages[l] == page {
+		t.stamp[l] = t.clock
+		t.Hits++
+		return true
+	}
 	victim := 0
 	for i := range t.pages {
 		if t.valid[i] && t.pages[i] == page {
 			t.stamp[i] = t.clock
 			t.Hits++
+			t.last = i
 			return true
 		}
 		if !t.valid[i] {
@@ -53,7 +63,28 @@ func (t *tlb) lookup(addr uint64) bool {
 	t.pages[victim] = page
 	t.valid[victim] = true
 	t.stamp[victim] = t.clock
+	t.last = victim
 	return false
+}
+
+// skipHits applies n elided lookups of addr that are guaranteed hits: the
+// recency clock advances once per lookup and the entry's stamp follows it,
+// so the relative stamp order across entries — the only thing LRU victim
+// choice observes — evolves exactly as n repeated lookups would leave it.
+// Panics if the page is not resident, which would mean a component
+// under-reported its next work to the kernel.
+func (t *tlb) skipHits(addr uint64, n uint64) {
+	page := addrmap.PageOf(addr)
+	for i := range t.pages {
+		if t.valid[i] && t.pages[i] == page {
+			t.clock += n
+			t.stamp[i] = t.clock
+			t.Hits += n
+			t.last = i
+			return
+		}
+	}
+	panic("pipeline: skipHits on a non-resident page (quiescence contract violation)")
 }
 
 // dtlbCheck translates a data access for an application thread, returning

@@ -25,6 +25,19 @@
 //   - Busy-until scalars live inside components (SDRAM banks, network
 //     links): cheap bandwidth modeling with no events at all.
 //
+// The kernel is event-driven with cycle skipping: the event queue is a
+// monomorphic 4-ary min-heap (no boxing, no per-Push allocation at steady
+// state), each clocked component carries a precomputed next-tick due time
+// instead of being modulo-scanned every cycle, and components that
+// implement Quiescer can declare themselves idle until a future cycle.
+// When every component is quiescent and no event is due, Run jumps
+// straight to the earliest due time, handing SkipAware components the
+// count of elided ticks so per-cycle deltas (cycle counters, occupancy
+// samples) stay exact. The skip is observably invisible — identical cycle
+// counts and metrics to the naive kernel, which survives as
+// NewReferenceEngine and is pinned against the skipping engine by
+// differential tests. See DESIGN.md, "Kernel fast path".
+//
 // The package also houses Rand, a SplitMix64 generator; all randomness in
 // the simulator flows through seeded instances of it.
 package sim

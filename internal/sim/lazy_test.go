@@ -1,0 +1,170 @@
+package sim
+
+import "testing"
+
+// lazyTestComp records every live tick and every bulk settlement so tests
+// can assert exactly which cycles were elided and how they were settled.
+type lazyTestComp struct {
+	ticks []Cycle
+	skipN []uint64
+	skipL []Cycle
+	next  Cycle // NextWork answer while not busy
+	busy  bool
+}
+
+func (c *lazyTestComp) Tick(now Cycle) { c.ticks = append(c.ticks, now) }
+func (c *lazyTestComp) NextWork(now Cycle) (Cycle, bool) {
+	if c.busy {
+		return 0, false
+	}
+	return c.next, true
+}
+func (c *lazyTestComp) Skipped(n uint64, last Cycle) {
+	c.skipN = append(c.skipN, n)
+	c.skipL = append(c.skipL, last)
+}
+
+// busyDriver is a plain Clocked (no Quiescer): it pins the engine to exact
+// stepping so any elision observed on the lazy component is the lazy path,
+// not a global jump.
+type busyDriver struct{ ticks int }
+
+func (d *busyDriver) Tick(now Cycle) { d.ticks++ }
+
+// A lazy component with no self-generated work must not tick while a busy
+// neighbour keeps the engine stepping; FlushDeferred settles the whole
+// window with the last elided cycle, not the flush cycle.
+func TestLazyDeferralFlush(t *testing.T) {
+	e := NewEngine()
+	d := &busyDriver{}
+	c := &lazyTestComp{next: NoWork}
+	e.AddClocked(d, 1, 0)
+	e.AddClocked(c, 1, 0)
+	h := e.MakeLazy(c)
+	_ = h
+	e.Run(10)
+	if len(c.ticks) != 0 {
+		t.Fatalf("lazy comp ticked at %v; want no live ticks", c.ticks)
+	}
+	e.FlushDeferred()
+	if len(c.skipN) != 1 || c.skipN[0] != 10 || c.skipL[0] != 10 {
+		t.Fatalf("flush settled (n,last) = (%v,%v); want (10,10)", c.skipN, c.skipL)
+	}
+	if d.ticks != 10 {
+		t.Fatalf("driver ticked %d times; want 10 (no global jump)", d.ticks)
+	}
+	// The flush left the component due on the next cycle; once it has
+	// work it ticks live there (still idle, it would just defer again).
+	c.busy = true
+	e.Step()
+	if len(c.ticks) != 1 || c.ticks[0] != 11 {
+		t.Fatalf("post-flush tick at %v; want [11]", c.ticks)
+	}
+}
+
+// External input mid-window (an event calling Settle before mutating the
+// component) splits the window: elided ticks settle up to the cycle before
+// the input, and the component ticks live from the input cycle on.
+func TestLazyDeferralSettleOnEvent(t *testing.T) {
+	e := NewEngine()
+	d := &busyDriver{}
+	c := &lazyTestComp{next: NoWork}
+	e.AddClocked(d, 1, 0)
+	e.AddClocked(c, 1, 0)
+	h := e.MakeLazy(c)
+	e.Schedule(6, func() {
+		h.Settle()
+		c.busy = true
+	})
+	e.Run(10)
+	if len(c.skipN) != 1 || c.skipN[0] != 5 || c.skipL[0] != 5 {
+		t.Fatalf("event settled (n,last) = (%v,%v); want (5,5)", c.skipN, c.skipL)
+	}
+	want := []Cycle{6, 7, 8, 9, 10}
+	if len(c.ticks) != len(want) {
+		t.Fatalf("live ticks %v; want %v", c.ticks, want)
+	}
+	for i, at := range want {
+		if c.ticks[i] != at {
+			t.Fatalf("live ticks %v; want %v", c.ticks, want)
+		}
+	}
+}
+
+// Input from a component that ticks later in the same cycle must include
+// the current cycle in the settlement: the reference engine would already
+// have ticked the earlier component (idly) before the input arrived.
+func TestLazyDeferralSettleFromLaterComponent(t *testing.T) {
+	e := NewEngine()
+	c := &lazyTestComp{next: NoWork}
+	e.AddClocked(c, 1, 0) // index 0: slot passes before the driver's
+	var h *TickHandle
+	fire := ClockedFunc(func(now Cycle) {
+		if now == 6 {
+			h.Settle()
+			c.busy = true
+		}
+	})
+	e.AddClocked(fire, 1, 0)
+	h = e.MakeLazy(c)
+	e.Run(10)
+	if len(c.skipN) != 1 || c.skipN[0] != 6 || c.skipL[0] != 6 {
+		t.Fatalf("settled (n,last) = (%v,%v); want (6,6): cycle 6's idle tick precedes the input", c.skipN, c.skipL)
+	}
+	if len(c.ticks) == 0 || c.ticks[0] != 7 {
+		t.Fatalf("first live tick at %v; want cycle 7", c.ticks)
+	}
+}
+
+// A finite next-work answer bounds the window: the declared cycle runs as
+// a live tick with the elided prefix settled first.
+func TestLazyDeferralWindowEnd(t *testing.T) {
+	e := NewEngine()
+	d := &busyDriver{}
+	c := &lazyTestComp{next: 4}
+	e.AddClocked(d, 1, 0)
+	e.AddClocked(c, 1, 0)
+	e.MakeLazy(c)
+	e.Run(6)
+	if len(c.skipN) != 1 || c.skipN[0] != 3 || c.skipL[0] != 3 {
+		t.Fatalf("window end settled (n,last) = (%v,%v); want (3,3)", c.skipN, c.skipL)
+	}
+	// NextWork keeps answering 4, which is never in the future again: the
+	// component ticks live from its declared work cycle on.
+	want := []Cycle{4, 5, 6}
+	if len(c.ticks) != len(want) {
+		t.Fatalf("live ticks %v; want %v", c.ticks, want)
+	}
+	for i, at := range want {
+		if c.ticks[i] != at {
+			t.Fatalf("live ticks %v; want %v", c.ticks, want)
+		}
+	}
+}
+
+// The reference engine hands out inert handles: every tick runs live.
+func TestLazyDeferralReferenceInert(t *testing.T) {
+	e := NewReferenceEngine()
+	c := &lazyTestComp{next: NoWork}
+	e.AddClocked(c, 1, 0)
+	h := e.MakeLazy(c)
+	e.Run(5)
+	h.Settle()
+	e.FlushDeferred()
+	if len(c.ticks) != 5 || len(c.skipN) != 0 {
+		t.Fatalf("reference engine: %d ticks, %d settlements; want 5, 0", len(c.ticks), len(c.skipN))
+	}
+}
+
+// MakeLazy refuses components that cannot settle their own elided ticks.
+func TestMakeLazyRequiresSkipAware(t *testing.T) {
+	e := NewEngine()
+	d := &busyDriver{}
+	e.AddClocked(d, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MakeLazy accepted a component without Quiescer+SkipAware")
+		}
+	}()
+	e.MakeLazy(d)
+}

@@ -8,6 +8,12 @@ import (
 // Cycle is a point in simulated time, measured in processor clock cycles.
 type Cycle uint64
 
+// NoWork is the Cycle value a Quiescer returns (with ok = true) to declare
+// that it will generate no work on its own at any future cycle: only an
+// external input — a scheduled event or another component's activity — can
+// give it something to do.
+const NoWork = ^Cycle(0)
+
 // Clocked is a component stepped by the engine. Tick is invoked once per
 // period (see AddClocked) with the current cycle.
 type Clocked interface {
@@ -20,10 +26,50 @@ type ClockedFunc func(now Cycle)
 // Tick implements Clocked.
 func (f ClockedFunc) Tick(now Cycle) { f(now) }
 
+// Quiescer is optionally implemented by components that can prove
+// idleness. NextWork(now) returns (c, true) when the component guarantees
+// that ticking it at any cycle strictly before c would change no state
+// beyond the per-cycle deltas its Skipped method (if it has one)
+// re-applies. Returning NoWork means "no self-generated work ever";
+// returning ok = false means busy — no tick of this component may be
+// elided.
+//
+// The contract is one-sided: a component may over-report (claim busy, or
+// name a next-work cycle earlier than its real one) and only forfeit
+// speed; it must never under-report. Claiming idleness across a cycle
+// where a tick would have acted breaks the reference-engine equivalence
+// the differential tests pin. See DESIGN.md, "Kernel fast path".
+type Quiescer interface {
+	NextWork(now Cycle) (Cycle, bool)
+}
+
+// SkipAware is optionally implemented by Quiescer components whose idle
+// ticks still apply per-cycle deltas (cycle counters, occupancy samples,
+// round-robin pointers). When the engine elides n consecutive ticks of
+// the component, it calls Skipped(n, last), which must apply exactly the
+// deltas those n idle ticks would have applied. last is the cycle of the
+// final elided tick: since the component's observable state is frozen
+// across the window, any per-cycle predicate the deltas depend on answers
+// at last exactly as it did at every elided cycle — but the engine's own
+// clock may already have moved past the window (lazy settlement), so
+// implementations must use last, never Engine.Now.
+type SkipAware interface {
+	Skipped(n uint64, last Cycle)
+}
+
 type clockedEntry struct {
-	c      Clocked
-	period Cycle // tick every `period` cycles
-	phase  Cycle // tick when now%period == phase
+	c        Clocked
+	q        Quiescer // non-nil when c implements Quiescer
+	s        SkipAware
+	period   Cycle // tick every `period` cycles
+	phase    Cycle // tick when now%period == phase
+	nextTick Cycle // precomputed next due cycle (skipping engine)
+
+	// Lazy-tick state (see MakeLazy). While deferring, nextTick holds the
+	// deferral window's end and settleBase the first elided due cycle.
+	lazy       bool
+	deferring  bool
+	settleBase Cycle
 }
 
 type event struct {
@@ -32,18 +78,31 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by due time, FIFO within a cycle.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+
+// refQueue is the original event queue, retained verbatim for the
+// reference engine: a binary heap driven through container/heap, whose
+// Push boxes every event in an interface value (one heap allocation per
+// scheduled event) and whose sift operations go through dynamic
+// dispatch. The skipping engine replaces it with the monomorphic 4-ary
+// heap below; the reference engine keeps this queue so differential runs
+// and cmd/benchjson compare against the naive kernel's true cost, not
+// just its semantics.
+type refQueue []event
+
+func (h refQueue) Len() int { return len(h) }
+func (h refQueue) Less(i, j int) bool {
+	return eventLess(h[i], h[j])
+}
+func (h refQueue) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refQueue) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *refQueue) Pop() interface{} {
 	old := *h
 	n := len(old)
 	e := old[n-1]
@@ -51,31 +110,222 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
-// Engine owns simulated time. Create one per machine with NewEngine.
+// Engine owns simulated time. Create one per machine with NewEngine (or
+// NewReferenceEngine for the naive always-tick kernel the differential
+// tests compare against).
+//
+// The event queue is a monomorphic 4-ary min-heap of event values: no
+// interface boxing, no per-Push allocation once the backing slice has
+// grown to the high-water mark.
 type Engine struct {
-	now     Cycle
-	seq     uint64
-	comps   []clockedEntry
-	events  eventHeap
-	stopped bool
+	now       Cycle
+	seq       uint64
+	comps     []clockedEntry
+	extras    []Quiescer // unclocked components consulted before skipping
+	events    []event    // 4-ary min-heap ordered by eventLess
+	refEvents refQueue   // boxed container/heap queue (reference engine only)
+	stopped   bool
+	reference bool
+	skipped   uint64
+
+	// scanPos is the number of clocked components whose tick slot for the
+	// current cycle has already passed: 0 while the cycle's events fire, i
+	// while comps[i] is being examined, len(comps) between Steps. Lazy
+	// settlement uses it to decide whether an external input landed before
+	// or after the reference engine would have ticked the component this
+	// cycle.
+	scanPos int
 }
 
-// NewEngine returns an engine at cycle 0 with no components.
+// NewEngine returns an engine at cycle 0 with no components. Run and
+// Advance skip quiescent cycles (see Quiescer); behaviour is defined to be
+// identical to the reference engine's.
 func NewEngine() *Engine {
 	return &Engine{}
 }
 
+// NewReferenceEngine returns an engine whose Step scans every clocked
+// component with a modulo check each cycle, whose event queue is the
+// boxed container/heap original, and whose Run never skips a cycle —
+// the naive kernel exactly as it stood before the fast path. It exists
+// as the behavioural oracle and cost baseline for the skipping engine:
+// the differential tests run both over the bench suite and assert equal
+// cycle counts and byte-identical metrics.
+func NewReferenceEngine() *Engine {
+	return &Engine{reference: true}
+}
+
+// Reference reports whether this is the naive reference engine.
+func (e *Engine) Reference() bool { return e.reference }
+
 // Now returns the current cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
+// SkippedCycles reports how many cycles the engine has elided so far
+// (always 0 on the reference engine).
+func (e *Engine) SkippedCycles() uint64 { return e.skipped }
+
 // AddClocked registers a component ticked every period cycles (period >= 1),
 // starting at cycle phase%period. Components registered earlier tick earlier
-// within a cycle.
+// within a cycle. If the component implements Quiescer (and optionally
+// SkipAware) the skipping engine consults it; otherwise its every tick is
+// treated as work, bounding any skip.
 func (e *Engine) AddClocked(c Clocked, period, phase Cycle) {
 	if period == 0 {
 		panic("sim: clock period must be >= 1")
 	}
-	e.comps = append(e.comps, clockedEntry{c: c, period: period, phase: phase % period})
+	ce := clockedEntry{c: c, period: period, phase: phase % period}
+	ce.q, _ = c.(Quiescer)
+	ce.s, _ = c.(SkipAware)
+	// First due cycle at or after the next Step's cycle.
+	from := e.now + 1
+	ce.nextTick = from + (ce.phase+period-from%period)%period
+	e.comps = append(e.comps, ce)
+}
+
+// AddQuiescer registers an unclocked component (one driven purely by
+// events, like the network) whose NextWork still gates cycle skipping.
+func (e *Engine) AddQuiescer(q Quiescer) {
+	e.extras = append(e.extras, q)
+}
+
+// TickHandle lets a lazily-ticked component settle its own deferred ticks
+// the moment external input arrives. Obtain one with MakeLazy.
+type TickHandle struct {
+	e   *Engine
+	idx int
+}
+
+// MakeLazy marks an already-registered clocked component for lazy
+// ticking: when the component is due but reports future-only work, the
+// engine defers the tick instead of running it — even while other
+// components stay busy — and settles the elided ticks in bulk (via
+// Skipped) when the window ends. The component must route every external
+// input through the returned handle's Settle before mutating its state;
+// engine-scheduled events the component targets at itself count as
+// external input too. On the reference engine the returned handle is
+// inert. Panics if c is unregistered or not both Quiescer and SkipAware.
+func (e *Engine) MakeLazy(c Clocked) *TickHandle {
+	for i := range e.comps {
+		ce := &e.comps[i]
+		if ce.c == c {
+			if ce.q == nil || ce.s == nil {
+				panic("sim: MakeLazy needs a Quiescer + SkipAware component")
+			}
+			if !e.reference {
+				ce.lazy = true
+			}
+			return &TickHandle{e: e, idx: i}
+		}
+	}
+	panic("sim: MakeLazy on an unregistered component")
+}
+
+// Settle applies any ticks of the component that were deferred up to the
+// present, leaving it exactly as if the reference engine had ticked it
+// idly on schedule. Callers invoke it before mutating the component's
+// state from outside its own Tick; it is a no-op when nothing is
+// deferred.
+func (h *TickHandle) Settle() { h.e.settleIdx(h.idx) }
+
+// settleIdx retires comps[i]'s deferral window. The window covers its due
+// cycles up to but excluding the first one the component can still tick
+// live: the current cycle if its slot has not passed yet (events are still
+// firing, or the scan has not reached it), the next cycle otherwise.
+func (e *Engine) settleIdx(i int) {
+	ce := &e.comps[i]
+	if !ce.deferring {
+		return
+	}
+	limit := e.now
+	if i < e.scanPos {
+		limit = e.now + 1
+	}
+	if limit <= ce.settleBase {
+		// The deferral began at this very slot, so its initiating NextWork
+		// answer cannot have preceded this input.
+		panic("sim: lazy settlement with no elided ticks")
+	}
+	missed := uint64((limit-1-ce.settleBase)/ce.period) + 1
+	last := ce.settleBase + Cycle(missed-1)*ce.period
+	ce.deferring = false
+	ce.nextTick = ce.settleBase + Cycle(missed)*ce.period
+	ce.s.Skipped(missed, last)
+}
+
+// FlushDeferred settles every open deferral window. Drivers call it
+// before harvesting component state (statistics export, termination
+// bookkeeping) so lazily-ticked components are exact at the read point.
+func (e *Engine) FlushDeferred() {
+	for i := range e.comps {
+		if e.comps[i].deferring {
+			e.settleIdx(i)
+		}
+	}
+}
+
+// lazyBound is the first due cycle at or after next for a component whose
+// slots fall on now + k*period; next == NoWork (or anything within one
+// period of it, where the rounding could wrap) defers indefinitely.
+func lazyBound(now, next, period Cycle) Cycle {
+	if next > NoWork-period {
+		return NoWork
+	}
+	return now + (next-now+period-1)/period*period
+}
+
+// pushEvent inserts ev into the 4-ary heap.
+func (e *Engine) pushEvent(ev event) {
+	e.events = append(e.events, ev)
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// popEvent removes and returns the earliest event. The vacated tail slot
+// is zeroed so the heap does not pin the callback closure.
+func (e *Engine) popEvent() event {
+	h := e.events
+	ev := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{}
+	e.events = h[:last]
+	e.siftDown(0)
+	return ev
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(h[c], h[m]) {
+				m = c
+			}
+		}
+		if !eventLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // Schedule runs fn at the given absolute cycle. Scheduling in the past (or
@@ -86,15 +336,28 @@ func (e *Engine) Schedule(at Cycle, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d but now is %d", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	if e.reference {
+		heap.Push(&e.refEvents, event{at: at, seq: e.seq, fn: fn})
+		return
+	}
+	e.pushEvent(event{at: at, seq: e.seq, fn: fn})
 }
 
-// After runs fn delay cycles from now (delay >= 1).
+// After runs fn delay cycles from now. A zero delay is rounded up to one
+// cycle — "as soon as possible, but never within the current cycle" —
+// matching Schedule's rule that same-cycle work is done inline by the
+// caller rather than through the event queue. After panics if now+delay
+// wraps around the Cycle range, since the wrapped due-time would land in
+// the past.
 func (e *Engine) After(delay Cycle, fn func()) {
 	if delay == 0 {
 		delay = 1
 	}
-	e.Schedule(e.now+delay, fn)
+	at := e.now + delay
+	if at < e.now {
+		panic(fmt.Sprintf("sim: After(%d) at cycle %d wraps past the end of simulated time", delay, e.now))
+	}
+	e.Schedule(at, fn)
 }
 
 // Stop makes Run return after the current cycle completes.
@@ -105,39 +368,188 @@ func (e *Engine) Stopped() bool { return e.stopped }
 
 // Step advances one cycle: the cycle counter increments, due events fire in
 // scheduling order, then clocked components whose period divides the new
-// cycle tick in registration order.
+// cycle tick in registration order. A due lazy component that reports only
+// future work is not ticked: its slot opens a deferral window that closes —
+// with the elided ticks settled in bulk — when the window's end arrives or
+// external input touches the component, whichever happens first.
 func (e *Engine) Step() {
 	e.now++
+	comps := e.comps
+	if e.reference {
+		for len(e.refEvents) > 0 && e.refEvents[0].at <= e.now {
+			ev := heap.Pop(&e.refEvents).(event)
+			ev.fn()
+		}
+		for i := range comps {
+			ce := &comps[i]
+			if e.now%ce.period == ce.phase {
+				ce.c.Tick(e.now)
+			}
+		}
+		return
+	}
+	e.scanPos = 0
 	for len(e.events) > 0 && e.events[0].at <= e.now {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.popEvent()
 		ev.fn()
 	}
-	for _, ce := range e.comps {
-		if e.now%ce.period == ce.phase {
-			ce.c.Tick(e.now)
+	for i := range comps {
+		e.scanPos = i
+		ce := &comps[i]
+		if ce.nextTick != e.now {
+			continue
+		}
+		if ce.deferring {
+			// Window end reached without input: settle the elided ticks,
+			// then examine the component live (it may defer again at once).
+			e.settleIdx(i)
+		}
+		if ce.lazy {
+			// Input arriving earlier this cycle latched the component busy
+			// (events fired and earlier components ticked already), so an
+			// idle answer here proves the reference tick would be idle too.
+			if next, ok := ce.q.NextWork(e.now); ok && next > e.now {
+				ce.deferring = true
+				ce.settleBase = e.now
+				ce.nextTick = lazyBound(e.now, next, ce.period)
+				continue
+			}
+		}
+		ce.nextTick += ce.period
+		ce.c.Tick(e.now)
+	}
+	e.scanPos = len(comps)
+}
+
+// skipTarget returns the earliest cycle (capped at limit) at which
+// something observable can happen: the next due event, the next tick of a
+// non-quiescent (or non-Quiescer) component, or the first scheduled tick
+// at or after a quiescent component's declared next-work cycle. A return
+// of now+1 means no cycle may be skipped.
+func (e *Engine) skipTarget(limit Cycle) Cycle {
+	floor := e.now + 1
+	target := limit
+	if len(e.events) > 0 && e.events[0].at < target {
+		target = e.events[0].at
+	}
+	if target <= floor {
+		return floor
+	}
+	for i := range e.comps {
+		ce := &e.comps[i]
+		bound := ce.nextTick
+		if ce.deferring {
+			// nextTick is the deferral window's end — already the first
+			// cycle this component can act; no need to consult it again.
+		} else if ce.q != nil {
+			next, ok := ce.q.NextWork(e.now)
+			if !ok {
+				return floor
+			}
+			if next > ce.nextTick {
+				if next >= target {
+					continue
+				}
+				// First scheduled tick at or after the next-work cycle.
+				bound = ce.nextTick + (next-ce.nextTick+ce.period-1)/ce.period*ce.period
+			}
+		}
+		if bound < target {
+			target = bound
+		}
+		if target <= floor {
+			return floor
+		}
+	}
+	for _, q := range e.extras {
+		next, ok := q.NextWork(e.now)
+		if !ok {
+			return floor
+		}
+		if next < target {
+			target = next
+		}
+		if target <= floor {
+			return floor
+		}
+	}
+	return target
+}
+
+// jump elides the cycles in (now, target): it moves now to target-1,
+// advances every component's nextTick past the elided window, and hands
+// each SkipAware component the count of ticks it missed so it can apply
+// their per-cycle deltas in bulk. The caller then Steps to target, which
+// runs as an ordinary exact cycle.
+func (e *Engine) jump(target Cycle) {
+	skipTo := target - 1
+	e.skipped += uint64(skipTo - e.now)
+	e.now = skipTo
+	for i := range e.comps {
+		ce := &e.comps[i]
+		if ce.nextTick > skipTo {
+			// Also every deferring component: skipTarget never jumps past a
+			// deferral window's end, so open windows ride through unsettled.
+			continue
+		}
+		missed := uint64((skipTo-ce.nextTick)/ce.period) + 1
+		last := ce.nextTick + Cycle(missed-1)*ce.period
+		ce.nextTick += Cycle(missed) * ce.period
+		if ce.s != nil {
+			ce.s.Skipped(missed, last)
 		}
 	}
 }
 
-// Run steps until Stop is called or maxCycles elapse, returning the number of
-// cycles executed.
+// Advance moves time forward to the next cycle at which anything can
+// happen, but never to or past limit's end: it skips quiescent cycles and
+// then executes exactly one real Step. With limit <= now+1 (or on the
+// reference engine) it degenerates to a single Step. Callers that poll
+// external conditions (like machine.RunContext's Done check) bound their
+// skips with limit so the poll cadence is unchanged.
+func (e *Engine) Advance(limit Cycle) {
+	if !e.reference {
+		if target := e.skipTarget(limit); target > e.now+1 {
+			e.jump(target)
+		}
+	}
+	e.Step()
+}
+
+// Run advances until Stop is called or maxCycles elapse, returning the
+// number of cycles executed. The skipping engine covers quiescent
+// stretches with jumps; the reference engine steps every cycle.
 func (e *Engine) Run(maxCycles Cycle) Cycle {
 	start := e.now
+	limit := start + maxCycles
+	if limit < start {
+		limit = NoWork // wrapped: effectively unbounded
+	}
 	for !e.stopped && e.now-start < maxCycles {
-		e.Step()
+		e.Advance(limit)
 	}
 	return e.now - start
 }
 
 // PendingEvents reports the number of not-yet-fired scheduled events. Useful
 // for drain/quiesce checks in tests.
-func (e *Engine) PendingEvents() int { return len(e.events) }
+func (e *Engine) PendingEvents() int {
+	if e.reference {
+		return len(e.refEvents)
+	}
+	return len(e.events)
+}
 
-// PendingTimes returns the due-times of up to n pending events (debug aid).
+// PendingTimes returns the due-times of up to n pending events in heap
+// order — the first is the earliest, the rest unsorted (debug aid).
 func (e *Engine) PendingTimes(n int) []Cycle {
+	evs := e.events
+	if e.reference {
+		evs = e.refEvents
+	}
 	var out []Cycle
-	for i := 0; i < len(e.events) && i < n; i++ {
-		out = append(out, e.events[i].at)
+	for i := 0; i < len(evs) && i < n; i++ {
+		out = append(out, evs[i].at)
 	}
 	return out
 }

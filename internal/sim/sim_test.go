@@ -84,6 +84,265 @@ func TestEngineEventDuringEvent(t *testing.T) {
 	}
 }
 
+// TestAfterZeroAndScheduleNow pins the After(0)/Schedule(now) pair: After
+// rounds a zero delay up to one cycle (the callback fires on the next
+// cycle, never the current one), while the equivalent Schedule(now) call
+// panics.
+func TestAfterZeroAndScheduleNow(t *testing.T) {
+	e := NewEngine()
+	e.Step() // now = 1
+	var firedAt Cycle
+	e.After(0, func() { firedAt = e.Now() })
+	e.Step()
+	if firedAt != 2 {
+		t.Fatalf("After(0) fired at cycle %d, want 2 (next cycle)", firedAt)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(now) did not panic")
+		}
+	}()
+	e.Schedule(e.Now(), func() {})
+}
+
+// TestAfterWraparoundPanics pins that a delay large enough to wrap the
+// Cycle range panics instead of silently landing in the past.
+func TestAfterWraparoundPanics(t *testing.T) {
+	e := NewEngine()
+	// With no components and no events the engine jumps straight to the
+	// horizon, so simulated time can reach the top of the Cycle range.
+	e.Run(NoWork - 10)
+	if e.Now() != NoWork-10 {
+		t.Fatalf("empty engine ran to %d, want %d", e.Now(), NoWork-10)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrapped After did not panic")
+		}
+	}()
+	e.After(20, func() {})
+}
+
+// quiescentComp is idle (NoWork) unless busyUntil lies ahead; its per-cycle
+// delta is a tick counter that Skipped applies in bulk.
+type quiescentComp struct {
+	busyUntil Cycle
+	cycles    uint64  // ticks seen + ticks skipped
+	ticked    []Cycle // cycles where Tick actually ran
+}
+
+func (c *quiescentComp) Tick(now Cycle) {
+	c.cycles++
+	c.ticked = append(c.ticked, now)
+}
+
+func (c *quiescentComp) NextWork(now Cycle) (Cycle, bool) {
+	if now < c.busyUntil {
+		return 0, false
+	}
+	return NoWork, true
+}
+
+func (c *quiescentComp) Skipped(n uint64, _ Cycle) { c.cycles += n }
+
+func TestEngineSkipsQuiescentCycles(t *testing.T) {
+	e := NewEngine()
+	c := &quiescentComp{busyUntil: 5}
+	e.AddClocked(c, 1, 0)
+	woke := Cycle(0)
+	e.Schedule(1000, func() { woke = e.Now(); c.busyUntil = e.Now() + 3 })
+	n := e.Run(2000)
+	if n != 2000 || e.Now() != 2000 {
+		t.Fatalf("ran %d cycles to %d, want 2000", n, e.Now())
+	}
+	if woke != 1000 {
+		t.Fatalf("event fired at %d, want 1000", woke)
+	}
+	if c.cycles != 2000 {
+		t.Fatalf("per-cycle delta drifted: %d of 2000", c.cycles)
+	}
+	// Ticks actually execute only while busy (cycles 1-4 and 1000-1002)
+	// plus the landing cycle of each jump.
+	if len(c.ticked) >= 100 {
+		t.Fatalf("quiescent stretch was not skipped: %d real ticks", len(c.ticked))
+	}
+	if e.SkippedCycles() == 0 {
+		t.Fatal("engine reports no skipped cycles")
+	}
+}
+
+// roundingComp pins the period rounding: a component idle until cycle 10
+// but clocked every 3 cycles must next tick at 12, and its three elided
+// ticks (3, 6, 9) must arrive through Skipped.
+type roundingComp struct {
+	ticked []Cycle
+	skips  uint64
+}
+
+func (c *roundingComp) Tick(now Cycle) { c.ticked = append(c.ticked, now) }
+func (c *roundingComp) NextWork(now Cycle) (Cycle, bool) {
+	if now < 10 {
+		return 10, true
+	}
+	return 0, false
+}
+func (c *roundingComp) Skipped(n uint64, _ Cycle) { c.skips += n }
+
+func TestSkipRoundsUpToPeriod(t *testing.T) {
+	e := NewEngine()
+	c := &roundingComp{}
+	e.AddClocked(c, 3, 0)
+	e.Run(30)
+	want := []Cycle{12, 15, 18, 21, 24, 27, 30}
+	if len(c.ticked) != len(want) {
+		t.Fatalf("ticked at %v, want %v", c.ticked, want)
+	}
+	for i, w := range want {
+		if c.ticked[i] != w {
+			t.Fatalf("ticked at %v, want %v", c.ticked, want)
+		}
+	}
+	if c.skips != 3 {
+		t.Fatalf("skipped %d ticks, want 3 (cycles 3, 6, 9)", c.skips)
+	}
+}
+
+// busyGate is an unclocked AddQuiescer component; while busy it must block
+// all skipping.
+type busyGate struct{ busy bool }
+
+func (g *busyGate) NextWork(Cycle) (Cycle, bool) {
+	if g.busy {
+		return 0, false
+	}
+	return NoWork, true
+}
+
+func TestAddQuiescerGatesSkipping(t *testing.T) {
+	e := NewEngine()
+	idle := &quiescentComp{}
+	e.AddClocked(idle, 1, 0)
+	gate := &busyGate{busy: true}
+	e.AddQuiescer(gate)
+	e.Schedule(50, func() { gate.busy = false })
+	e.Run(100)
+	if e.SkippedCycles() == 0 {
+		t.Fatal("no cycles skipped after the gate opened")
+	}
+	// Every cycle up to the gate opening had to run for real.
+	real := uint64(len(idle.ticked))
+	if real < 50 {
+		t.Fatalf("only %d real ticks; the busy gate was skipped over", real)
+	}
+	if idle.cycles != 100 {
+		t.Fatalf("per-cycle delta drifted: %d of 100", idle.cycles)
+	}
+}
+
+// scriptedComp drives a pseudo-random busy/idle pattern for the
+// differential test below. Randomness is consumed only during busy ticks,
+// which both engines execute identically, so the script unfolds the same
+// way on each.
+type scriptedComp struct {
+	e      *Engine
+	r      *Rand
+	busy   Cycle
+	cycles uint64
+	ticked []Cycle
+}
+
+func (c *scriptedComp) Tick(now Cycle) {
+	c.cycles++
+	if now >= c.busy {
+		return
+	}
+	c.ticked = append(c.ticked, now)
+	if c.r.Intn(3) == 0 {
+		delay := Cycle(c.r.Intn(60) + 1)
+		ext := Cycle(c.r.Intn(20) + 1)
+		c.e.After(delay, func() {
+			if until := c.e.Now() + ext; until > c.busy {
+				c.busy = until
+			}
+		})
+	}
+}
+
+func (c *scriptedComp) NextWork(now Cycle) (Cycle, bool) {
+	if now < c.busy {
+		return 0, false
+	}
+	return NoWork, true
+}
+
+func (c *scriptedComp) Skipped(n uint64, _ Cycle) { c.cycles += n }
+
+// TestSkippingMatchesReference runs the same randomized busy/idle script on
+// the skipping and reference engines and requires identical observable
+// behaviour: same active-tick trace, same per-cycle counters, same final
+// time — while the skipping engine actually skips.
+func TestSkippingMatchesReference(t *testing.T) {
+	run := func(e *Engine) (*scriptedComp, *scriptedComp, *quiescentComp) {
+		a := &scriptedComp{e: e, r: NewRand(11), busy: 20}
+		b := &scriptedComp{e: e, r: NewRand(23), busy: 35}
+		slow := &quiescentComp{} // period 8, permanently idle
+		e.AddClocked(a, 1, 0)
+		e.AddClocked(b, 2, 1)
+		e.AddClocked(slow, 8, 0)
+		e.Run(5000)
+		return a, b, slow
+	}
+	fa, fb, fs := run(NewEngine())
+	ra, rb, rs := run(NewReferenceEngine())
+
+	cmp := func(name string, f, r *scriptedComp) {
+		if f.cycles != r.cycles {
+			t.Fatalf("%s: cycle counter %d vs reference %d", name, f.cycles, r.cycles)
+		}
+		if len(f.ticked) != len(r.ticked) {
+			t.Fatalf("%s: %d active ticks vs reference %d", name, len(f.ticked), len(r.ticked))
+		}
+		for i := range f.ticked {
+			if f.ticked[i] != r.ticked[i] {
+				t.Fatalf("%s: active tick %d at cycle %d vs reference %d",
+					name, i, f.ticked[i], r.ticked[i])
+			}
+		}
+	}
+	cmp("comp-a", fa, ra)
+	cmp("comp-b", fb, rb)
+	if fs.cycles != rs.cycles {
+		t.Fatalf("slow comp counter %d vs reference %d", fs.cycles, rs.cycles)
+	}
+}
+
+// TestEventHeapOrder stress-tests the 4-ary heap: many events with random
+// due times must fire in (time, FIFO) order.
+func TestEventHeapOrder(t *testing.T) {
+	e := NewEngine()
+	r := NewRand(5)
+	type stamp struct {
+		at  Cycle
+		seq int
+	}
+	var fired []stamp
+	for i := 0; i < 2000; i++ {
+		at := Cycle(r.Intn(500) + 1)
+		s := stamp{at: at, seq: i}
+		e.Schedule(at, func() { fired = append(fired, s) })
+	}
+	e.Run(600)
+	if len(fired) != 2000 {
+		t.Fatalf("fired %d of 2000 events", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+			t.Fatalf("event %d (%v) fired after %v", i, b, a)
+		}
+	}
+}
+
 func TestRandDeterminism(t *testing.T) {
 	a, b := NewRand(42), NewRand(42)
 	for i := 0; i < 1000; i++ {

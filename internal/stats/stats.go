@@ -44,6 +44,19 @@ func (p *Peak) Sample(v int) {
 	p.sum += uint64(v)
 }
 
+// SampleN records the same observation n times — the bulk path for cycles
+// the kernel elides. Equivalent to n Sample(v) calls.
+func (p *Peak) SampleN(v int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v > p.max {
+		p.max = v
+	}
+	p.samples += n
+	p.sum += uint64(v) * n
+}
+
 // Max returns the largest observation (zero if none).
 func (p *Peak) Max() int { return p.max }
 
