@@ -1,12 +1,13 @@
 # Developer / CI entry points. `make check` is the full gate:
 # formatting, vet, the simlint static-analysis suite, build, the
-# unit/integration suite, the whole suite again under the race detector,
-# the METRICS.md schema freshness, and a one-rep smoke of the kernel
-# benchmark harness (`make bench-json` is the full measurement).
+# unit/integration suite, the hot packages again with poolcheck message
+# poisoning, the whole suite again under the race detector, the METRICS.md
+# schema freshness, and a one-rep smoke of the benchmark harness
+# (`make bench-json` is the full measurement).
 
 GO ?= go
 
-.PHONY: all build test vet fmt test-race lint lint-fix-list metrics-schema metrics-schema-check bench-json bench-smoke check
+.PHONY: all build test vet fmt test-race test-poolcheck lint lint-fix-list metrics-schema metrics-schema-check bench-json bench-smoke check
 
 all: build
 
@@ -18,6 +19,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Pool-discipline gate: rebuilds the hot packages with poolcheck poisoning
+# of released messages and runs their suites, so any use-after-release or
+# double-release on the pooled paths panics instead of corrupting state.
+test-poolcheck:
+	$(GO) test -tags poolcheck ./internal/network/ ./internal/coherence/ ./internal/memctrl/ ./internal/pipeline/ ./internal/machine/
 
 # The runner fans simulations out across goroutines; the whole suite runs
 # under the race detector so nothing escapes the gate. The simulator is
@@ -43,10 +50,11 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Kernel speedup record: the full root benchmark suite on the skipping and
-# reference kernels (3 reps each, min kept), written to BENCH_4.json.
+# Hot-data-path speedup record: the full root benchmark suite (3 reps, min
+# kept, alloc rates included) against the PR 4 baseline in BENCH_4.json,
+# written to BENCH_5.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -count 3 -out BENCH_4.json
+	$(GO) run ./cmd/benchjson -count 3 -out BENCH_5.json
 
 # Quick end-to-end sanity of the bench harness for `make check`: two small
 # benchmarks, one rep per kernel, result discarded.
@@ -61,4 +69,4 @@ metrics-schema:
 metrics-schema-check:
 	$(GO) run ./cmd/metricsdoc -check
 
-check: fmt vet lint build test test-race metrics-schema-check bench-smoke
+check: fmt vet lint build test test-poolcheck test-race metrics-schema-check bench-smoke

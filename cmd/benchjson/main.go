@@ -1,17 +1,16 @@
-// Command benchjson measures the cycle-skipping kernel against the naive
-// reference kernel and records the result as BENCH_4.json. It runs the
-// repository's root benchmark suite twice — once on the default skipping
-// kernel and once with -kernel=reference, which reinstates the seed's
-// always-tick loop and boxed event queue — and writes one JSON record per
-// benchmark with both wall times and their ratio, plus the geometric-mean
-// speedup across the suite.
+// Command benchjson measures the repository's root benchmark suite and
+// records the result as BENCH_5.json: wall time and allocation rate per
+// benchmark, plus the speedup over the PR 4 baseline recorded in
+// BENCH_4.json (its skipping-kernel wall times — the same kernel this tree
+// runs by default, so the ratio isolates the hot-data-path work: pooled
+// messages, flat slab memory, dense tracking tables, recycled traces and
+// effects).
 //
-// Both sweeps execute the identical simulations (TestKernelDifferential
-// pins byte-identical results), so the ratio isolates kernel cost. Each
-// benchmark runs -count times per kernel and the minimum ns/op is kept:
-// the minimum is the least-interference estimate on a shared host.
+// Each benchmark runs -count times under -benchmem and the rep with the
+// minimum ns/op is kept: the minimum is the least-interference estimate on
+// a shared host.
 //
-//	go run ./cmd/benchjson                  # full suite, 3 reps, BENCH_4.json
+//	go run ./cmd/benchjson                  # full suite, 3 reps, BENCH_5.json
 //	go run ./cmd/benchjson -count 1 -bench Fig2 -out /tmp/smoke.json
 package main
 
@@ -30,10 +29,12 @@ import (
 )
 
 type benchResult struct {
-	Name        string  `json:"name"`
-	ReferenceNs float64 `json:"reference_ns_op"` // seed kernel (always-tick)
-	SkippingNs  float64 `json:"skipping_ns_op"`  // event-driven skipping kernel
-	Speedup     float64 `json:"speedup"`         // reference / skipping
+	Name       string  `json:"name"`
+	NsOp       float64 `json:"ns_op"`
+	BytesOp    uint64  `json:"b_op"`
+	AllocsOp   uint64  `json:"allocs_op"`
+	BaselineNs float64 `json:"baseline_ns_op,omitempty"` // PR 4 skipping-kernel time
+	Speedup    float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
 type report struct {
@@ -43,56 +44,97 @@ type report struct {
 	MeasuredAt     string        `json:"measured_at"`
 	Count          int           `json:"count"`
 	BenchPattern   string        `json:"bench_pattern"`
+	Baseline       string        `json:"baseline"`
 	Benchmarks     []benchResult `json:"benchmarks"`
-	GeomeanSpeedup float64       `json:"geomean_speedup"`
+	GeomeanSpeedup float64       `json:"geomean_speedup_vs_baseline"`
 }
 
-var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+// baselineReport matches the BENCH_4.json layout (kernel-vs-kernel record).
+type baselineReport struct {
+	Benchmarks []struct {
+		Name       string  `json:"name"`
+		SkippingNs float64 `json:"skipping_ns_op"`
+	} `json:"benchmarks"`
+}
 
-// runSuite runs the root benchmarks once per rep on the given kernel and
-// returns the minimum ns/op per benchmark name.
-func runSuite(pattern string, count int, kernel string) (map[string]float64, error) {
+type measurement struct {
+	ns     float64
+	bytes  uint64
+	allocs uint64
+}
+
+var benchLine = regexp.MustCompile(
+	`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// runSuite runs the root benchmarks count times under -benchmem and returns
+// the minimum-ns/op measurement per benchmark name.
+func runSuite(pattern string, count int) (map[string]measurement, error) {
 	args := []string{"test", ".", "-run", "^$", "-bench", pattern,
-		"-benchtime", "1x", "-count", strconv.Itoa(count)}
-	if kernel != "" {
-		args = append(args, "-kernel="+kernel)
-	}
+		"-benchtime", "1x", "-benchmem", "-count", strconv.Itoa(count)}
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
 		return nil, fmt.Errorf("go %v: %w\n%s", args, err, out)
 	}
-	times := make(map[string]float64)
+	best := make(map[string]measurement)
 	for _, m := range benchLine.FindAllStringSubmatch(string(out), -1) {
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
 			return nil, fmt.Errorf("parsing %q: %w", m[0], err)
 		}
-		if prev, ok := times[m[1]]; !ok || ns < prev {
-			times[m[1]] = ns
+		var meas measurement
+		meas.ns = ns
+		if m[3] != "" {
+			meas.bytes, _ = strconv.ParseUint(m[3], 10, 64)
+			meas.allocs, _ = strconv.ParseUint(m[4], 10, 64)
+		}
+		if prev, ok := best[m[1]]; !ok || ns < prev.ns {
+			best[m[1]] = meas
 		}
 	}
-	if len(times) == 0 {
+	if len(best) == 0 {
 		return nil, fmt.Errorf("no benchmark lines in output of go %v:\n%s", args, out)
+	}
+	return best, nil
+}
+
+// loadBaseline reads the per-bench skipping-kernel wall times from a PR 4
+// style record. A missing file is not an error (fresh checkouts, smoke
+// runs outside the repo root): comparisons are simply omitted.
+func loadBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var br baselineReport
+	if err := json.Unmarshal(data, &br); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	times := make(map[string]float64, len(br.Benchmarks))
+	for _, b := range br.Benchmarks {
+		times[b.Name] = b.SkippingNs
 	}
 	return times, nil
 }
 
 func main() {
-	count := flag.Int("count", 3, "repetitions per kernel; the minimum ns/op is kept")
+	count := flag.Int("count", 3, "repetitions; the minimum ns/op is kept")
 	pattern := flag.String("bench", ".", "benchmark regexp forwarded to go test -bench")
-	out := flag.String("out", "BENCH_4.json", "output path")
+	baseline := flag.String("baseline", "BENCH_4.json", "PR 4 record to compare against (missing file: no comparison)")
+	out := flag.String("out", "BENCH_5.json", "output path")
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "benchjson: skipping kernel, %d rep(s)...\n", *count)
-	skip, err := runSuite(*pattern, *count, "")
+	base, err := loadBaseline(*baseline)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: reference kernel, %d rep(s)...\n", *count)
-	ref, err := runSuite(*pattern, *count, "reference")
+	fmt.Fprintf(os.Stderr, "benchjson: root suite, %d rep(s)...\n", *count)
+	cur, err := runSuite(*pattern, *count)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -107,26 +149,28 @@ func main() {
 		MeasuredAt:   time.Now().UTC().Format(time.RFC3339), //simlint:allow determinism -- bench harness records when the host was measured
 		Count:        *count,
 		BenchPattern: *pattern,
+		Baseline:     *baseline,
 	}
-	names := make([]string, 0, len(skip))
-	for name := range skip {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	logGM := 0.0
+	logGM, compared := 0.0, 0
 	for _, name := range names {
-		rn, ok := ref[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: %s missing from reference sweep\n", name)
-			os.Exit(1)
+		m := cur[name]
+		b := benchResult{Name: name, NsOp: m.ns, BytesOp: m.bytes, AllocsOp: m.allocs}
+		if bn, ok := base[name]; ok && bn > 0 {
+			b.BaselineNs = bn
+			b.Speedup = bn / m.ns
+			logGM += math.Log(b.Speedup)
+			compared++
 		}
-		s := skip[name]
-		r.Benchmarks = append(r.Benchmarks, benchResult{
-			Name: name, ReferenceNs: rn, SkippingNs: s, Speedup: rn / s,
-		})
-		logGM += math.Log(rn / s)
+		r.Benchmarks = append(r.Benchmarks, b)
 	}
-	r.GeomeanSpeedup = math.Exp(logGM / float64(len(r.Benchmarks)))
+	if compared > 0 {
+		r.GeomeanSpeedup = math.Exp(logGM / float64(compared))
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -144,9 +188,13 @@ func main() {
 		os.Exit(1)
 	}
 	for _, b := range r.Benchmarks {
-		fmt.Printf("%-45s %10.0f -> %10.0f ns/op  %5.2fx\n",
-			b.Name, b.ReferenceNs, b.SkippingNs, b.Speedup)
+		if b.BaselineNs > 0 {
+			fmt.Printf("%-45s %11.0f ns/op %9d allocs/op  %5.2fx vs PR4\n",
+				b.Name, b.NsOp, b.AllocsOp, b.Speedup)
+		} else {
+			fmt.Printf("%-45s %11.0f ns/op %9d allocs/op\n", b.Name, b.NsOp, b.AllocsOp)
+		}
 	}
-	fmt.Printf("geomean speedup: %.3fx (%d benchmarks, count=%d) -> %s\n",
-		r.GeomeanSpeedup, len(r.Benchmarks), r.Count, *out)
+	fmt.Printf("geomean speedup vs %s: %.3fx (%d of %d benchmarks, count=%d) -> %s\n",
+		*baseline, r.GeomeanSpeedup, compared, len(r.Benchmarks), r.Count, *out)
 }

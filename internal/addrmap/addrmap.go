@@ -11,6 +11,8 @@
 //	                      ldctxt, send header/address registers)
 package addrmap
 
+import "encoding/binary"
+
 // NodeID identifies a node (processor + memory + NI) in the machine.
 type NodeID int
 
@@ -121,73 +123,112 @@ func DirAddrOf(addr uint64, nodes int) uint64 {
 	return DirBase + line*uint64(DirEntrySize(nodes))
 }
 
-// Memory is a sparse per-node backing store. Only protocol state (directory
-// entries) carries meaningful values; application data is timing-only. Reads
-// of untouched memory return zero.
-type Memory struct {
-	blocks map[uint64][]byte
-}
+// Memory geometry: the sparse store hands out 64 KiB slabs, found by a
+// two-level radix walk. The top level splits the 48-bit space into 4 GiB
+// groups (the region bases above land on distinct, small group indices) and
+// is a lazily grown slice; each group holds a lazily allocated table of
+// slab pointers. A value access is therefore two shifts, a mask and two
+// slice indexes — no hashing, no map.
+const (
+	SlabShift = 16
+	SlabSize  = 1 << SlabShift // backing-store slab (64 KiB)
+	slabMask  = SlabSize - 1
 
-const memBlock = 256
+	groupShift = 32
+	groupSlabs = 1 << (groupShift - SlabShift) // slab pointers per group
+	groupMask  = groupSlabs - 1
+)
+
+type slab = [SlabSize]byte
+
+// Memory is a sparse per-node backing store. Only protocol state (directory
+// entries) carries meaningful values; application data is timing-only.
+// Reads of untouched memory return zero without allocating backing storage;
+// slabs are allocated (zeroed) on first write.
+type Memory struct {
+	groups [][]*slab // [addr>>32][addr>>16 & groupMask]
+}
 
 // NewMemory returns an empty store.
-func NewMemory() *Memory {
-	return &Memory{blocks: make(map[uint64][]byte)}
-}
+func NewMemory() *Memory { return &Memory{} }
 
-func (m *Memory) block(addr uint64, alloc bool) ([]byte, uint64) {
-	base := addr &^ uint64(memBlock-1)
-	b, ok := m.blocks[base]
-	if !ok {
+// slabOf returns the slab covering addr, or nil when absent and !alloc.
+func (m *Memory) slabOf(addr uint64, alloc bool) *slab {
+	hi := int(addr >> groupShift)
+	if hi >= len(m.groups) {
 		if !alloc {
-			return nil, addr - base
+			return nil
 		}
-		b = make([]byte, memBlock)
-		m.blocks[base] = b
+		g := make([][]*slab, hi+1)
+		copy(g, m.groups)
+		m.groups = g
 	}
-	return b, addr - base
+	grp := m.groups[hi]
+	if grp == nil {
+		if !alloc {
+			return nil
+		}
+		grp = make([]*slab, groupSlabs)
+		m.groups[hi] = grp
+	}
+	mid := int(addr>>SlabShift) & groupMask
+	s := grp[mid]
+	if s == nil {
+		if !alloc {
+			return nil
+		}
+		s = new(slab)
+		grp[mid] = s
+	}
+	return s
 }
 
-// Read64 returns the little-endian 8-byte value at addr (need not be aligned
-// to the block, but must not straddle a 256-byte block; directory entries
-// never do).
+// Read64 returns the little-endian 8-byte value at addr (need not be
+// aligned, but must not straddle a 64 KiB slab; directory entries are 4- or
+// 8-byte aligned and never do).
 func (m *Memory) Read64(addr uint64) uint64 {
-	b, off := m.block(addr, false)
-	if b == nil {
+	s := m.slabOf(addr, false)
+	if s == nil {
 		return 0
 	}
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v |= uint64(b[off+uint64(i)]) << (8 * i)
-	}
-	return v
+	off := addr & slabMask
+	return binary.LittleEndian.Uint64(s[off : off+8])
 }
 
 // Write64 stores the little-endian 8-byte value at addr.
 func (m *Memory) Write64(addr uint64, v uint64) {
-	b, off := m.block(addr, true)
-	for i := 0; i < 8; i++ {
-		b[off+uint64(i)] = byte(v >> (8 * i))
-	}
+	s := m.slabOf(addr, true)
+	off := addr & slabMask
+	binary.LittleEndian.PutUint64(s[off:off+8], v)
 }
 
 // Read32 returns the little-endian 4-byte value at addr.
 func (m *Memory) Read32(addr uint64) uint32 {
-	b, off := m.block(addr, false)
-	if b == nil {
+	s := m.slabOf(addr, false)
+	if s == nil {
 		return 0
 	}
-	var v uint32
-	for i := 0; i < 4; i++ {
-		v |= uint32(b[off+uint64(i)]) << (8 * i)
-	}
-	return v
+	off := addr & slabMask
+	return binary.LittleEndian.Uint32(s[off : off+4])
 }
 
 // Write32 stores the little-endian 4-byte value at addr.
 func (m *Memory) Write32(addr uint64, v uint32) {
-	b, off := m.block(addr, true)
-	for i := 0; i < 4; i++ {
-		b[off+uint64(i)] = byte(v >> (8 * i))
+	s := m.slabOf(addr, true)
+	off := addr & slabMask
+	binary.LittleEndian.PutUint32(s[off:off+4], v)
+}
+
+// SlabCount reports the number of allocated backing slabs (test and
+// observability aid: footprint = SlabCount * SlabSize).
+func (m *Memory) SlabCount() int {
+	n := 0
+	for _, g := range m.groups {
+		for _, s := range g {
+			if s != nil {
+				n++
+			}
+		}
 	}
+	return n
 }

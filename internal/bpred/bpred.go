@@ -33,33 +33,29 @@ type Prediction struct {
 // per-thread.
 type Tournament struct {
 	threads    int
-	localHist  [][]uint16 // [thread][pc hash] -> local history
-	localPHT   []uint8    // shared, 3-bit counters
-	globalHist []uint32   // [thread] -> path history
-	globalPHT  []uint8    // shared, 2-bit counters
-	choice     [][]uint8  // [thread][global hist] -> 2-bit, high = use global
+	localHist  []uint16 // [thread*localHistEntries + pc hash] -> local history
+	localPHT   []uint8  // shared, 3-bit counters
+	globalHist []uint32 // [thread] -> path history
+	globalPHT  []uint8  // shared, 2-bit counters
+	choice     []uint8  // [thread*globalPHTEntries + global hist] -> 2-bit, high = use global
 
 	Lookups     uint64
 	Mispredicts uint64
 }
 
 // NewTournament returns a predictor for the given number of hardware thread
-// contexts.
+// contexts. Per-thread tables are flat arrays indexed by thread*entries+i.
 func NewTournament(threads int) *Tournament {
 	t := &Tournament{
 		threads:    threads,
-		localHist:  make([][]uint16, threads),
+		localHist:  make([]uint16, threads*localHistEntries),
 		localPHT:   make([]uint8, localPHTEntries),
 		globalHist: make([]uint32, threads),
 		globalPHT:  make([]uint8, globalPHTEntries),
-		choice:     make([][]uint8, threads),
+		choice:     make([]uint8, threads*globalPHTEntries),
 	}
-	for i := range t.localHist {
-		t.localHist[i] = make([]uint16, localHistEntries)
-		t.choice[i] = make([]uint8, globalPHTEntries)
-		for j := range t.choice[i] {
-			t.choice[i][j] = 2 // weakly prefer global, as the 21264 initializes
-		}
+	for i := range t.choice {
+		t.choice[i] = 2 // weakly prefer global, as the 21264 initializes
 	}
 	// Initialize 3-bit local counters to weakly taken and 2-bit global
 	// counters to weakly not-taken so cold predictions are not pathological.
@@ -80,14 +76,14 @@ func pcHash(pc uint64) int {
 // tid, along with state to pass back to Update.
 func (t *Tournament) Predict(tid int, pc uint64) Prediction {
 	t.Lookups++
-	li := pcHash(pc)
-	lh := t.localHist[tid][li] & (localPHTEntries - 1)
+	li := tid*localHistEntries + pcHash(pc)
+	lh := t.localHist[li] & (localPHTEntries - 1)
 	localTaken := t.localPHT[lh] >= 4
 
 	gi := int(t.globalHist[tid] & (globalPHTEntries - 1))
 	globalTaken := t.globalPHT[gi] >= 2
 
-	useGlobal := t.choice[tid][gi] >= 2
+	useGlobal := t.choice[tid*globalPHTEntries+gi] >= 2
 	taken := localTaken
 	if useGlobal {
 		taken = globalTaken
@@ -97,7 +93,7 @@ func (t *Tournament) Predict(tid int, pc uint64) Prediction {
 		localIdx:    li,
 		localPHTIdx: int(lh),
 		globalIdx:   gi,
-		choiceIdx:   gi,
+		choiceIdx:   tid*globalPHTEntries + gi,
 		usedGlobal:  useGlobal,
 	}
 }
@@ -117,15 +113,15 @@ func (t *Tournament) Update(tid int, p Prediction, taken bool) {
 
 	// Train the chooser only when the components disagree.
 	if localWas != globalWas {
-		t.choice[tid][p.choiceIdx] = sat(t.choice[tid][p.choiceIdx], globalWas == taken, 3)
+		t.choice[p.choiceIdx] = sat(t.choice[p.choiceIdx], globalWas == taken, 3)
 	}
 
 	// Advance histories.
-	h := t.localHist[tid][p.localIdx] << 1
+	h := t.localHist[p.localIdx] << 1
 	if taken {
 		h |= 1
 	}
-	t.localHist[tid][p.localIdx] = h & (localPHTEntries - 1)
+	t.localHist[p.localIdx] = h & (localPHTEntries - 1)
 
 	g := t.globalHist[tid] << 1
 	if taken {
@@ -148,13 +144,15 @@ func sat(c uint8, up bool, max uint8) uint8 {
 }
 
 // BTB is a set-associative branch target buffer (256 sets, 4-way, LRU).
+// Ways live in flat arrays indexed set*assoc+way so construction makes a
+// fixed handful of allocations independent of geometry.
 type BTB struct {
 	sets  int
 	assoc int
-	tags  [][]uint64
-	tgts  [][]uint64
-	valid [][]bool
-	lru   [][]uint8
+	tags  []uint64
+	tgts  []uint64
+	valid []bool
+	lru   []uint8
 
 	Hits   uint64
 	Misses uint64
@@ -162,34 +160,28 @@ type BTB struct {
 
 // NewBTB returns a BTB with the given geometry.
 func NewBTB(sets, assoc int) *BTB {
-	b := &BTB{
+	return &BTB{
 		sets: sets, assoc: assoc,
-		tags:  make([][]uint64, sets),
-		tgts:  make([][]uint64, sets),
-		valid: make([][]bool, sets),
-		lru:   make([][]uint8, sets),
+		tags:  make([]uint64, sets*assoc),
+		tgts:  make([]uint64, sets*assoc),
+		valid: make([]bool, sets*assoc),
+		lru:   make([]uint8, sets*assoc),
 	}
-	for i := 0; i < sets; i++ {
-		b.tags[i] = make([]uint64, assoc)
-		b.tgts[i] = make([]uint64, assoc)
-		b.valid[i] = make([]bool, assoc)
-		b.lru[i] = make([]uint8, assoc)
-	}
-	return b
 }
 
-func (b *BTB) index(pc uint64) (set int, tag uint64) {
-	return int((pc >> 2) % uint64(b.sets)), pc
+// index returns the first way slot of pc's set plus its tag.
+func (b *BTB) index(pc uint64) (base int, tag uint64) {
+	return int((pc>>2)%uint64(b.sets)) * b.assoc, pc
 }
 
 // Lookup returns the stored target for pc, if any.
 func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
-	set, tag := b.index(pc)
+	base, tag := b.index(pc)
 	for w := 0; w < b.assoc; w++ {
-		if b.valid[set][w] && b.tags[set][w] == tag {
-			b.touch(set, w)
+		if b.valid[base+w] && b.tags[base+w] == tag {
+			b.touch(base, w)
 			b.Hits++
-			return b.tgts[set][w], true
+			return b.tgts[base+w], true
 		}
 	}
 	b.Misses++
@@ -198,35 +190,35 @@ func (b *BTB) Lookup(pc uint64) (target uint64, ok bool) {
 
 // Insert records (pc -> target), replacing LRU on conflict.
 func (b *BTB) Insert(pc, target uint64) {
-	set, tag := b.index(pc)
+	base, tag := b.index(pc)
 	victim := 0
 	for w := 0; w < b.assoc; w++ {
-		if b.valid[set][w] && b.tags[set][w] == tag {
-			b.tgts[set][w] = target
-			b.touch(set, w)
+		if b.valid[base+w] && b.tags[base+w] == tag {
+			b.tgts[base+w] = target
+			b.touch(base, w)
 			return
 		}
-		if !b.valid[set][w] {
+		if !b.valid[base+w] {
 			victim = w
 			break
 		}
-		if b.lru[set][w] > b.lru[set][victim] {
+		if b.lru[base+w] > b.lru[base+victim] {
 			victim = w
 		}
 	}
-	b.tags[set][victim] = tag
-	b.tgts[set][victim] = target
-	b.valid[set][victim] = true
-	b.touch(set, victim)
+	b.tags[base+victim] = tag
+	b.tgts[base+victim] = target
+	b.valid[base+victim] = true
+	b.touch(base, victim)
 }
 
-func (b *BTB) touch(set, way int) {
+func (b *BTB) touch(base, way int) {
 	for w := 0; w < b.assoc; w++ {
-		if b.lru[set][w] < 255 {
-			b.lru[set][w]++
+		if b.lru[base+w] < 255 {
+			b.lru[base+w]++
 		}
 	}
-	b.lru[set][way] = 0
+	b.lru[base+way] = 0
 }
 
 // RAS is a per-thread return address stack with the top-of-stack repair

@@ -62,10 +62,13 @@ type Config struct {
 // Sets returns the number of sets implied by the geometry.
 func (c Config) Sets() int { return c.Size / (c.LineSize * c.Assoc) }
 
-// Cache is a set-associative cache with true-LRU replacement.
+// Cache is a set-associative cache with true-LRU replacement. All lines
+// live in one flat backing array (sets[i] is a view into it) so a cache is
+// two heap objects regardless of geometry.
 type Cache struct {
 	cfg   Config
-	sets  [][]Line
+	lines []Line   // sets*assoc backing store
+	sets  [][]Line // per-set views into lines
 	clock uint64
 
 	// Shift/mask index decomposition; New guarantees LineSize and the set
@@ -99,13 +102,17 @@ func New(cfg Config) *Cache {
 	if !pow2(sets) {
 		panic(fmt.Sprintf("cache: set count %d is not a power of two (%+v)", sets, cfg))
 	}
-	c := &Cache{cfg: cfg, sets: make([][]Line, sets)}
+	c := &Cache{
+		cfg:   cfg,
+		lines: make([]Line, sets*cfg.Assoc),
+		sets:  make([][]Line, sets),
+	}
 	for c.cfg.LineSize>>c.lineShift > 1 {
 		c.lineShift++
 	}
 	c.setMask = uint64(sets - 1)
 	for i := range c.sets {
-		c.sets[i] = make([]Line, cfg.Assoc)
+		c.sets[i] = c.lines[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	return c
 }
@@ -247,10 +254,8 @@ func (c *Cache) DowngradeRange(base uint64, size int) (anyDirty bool) {
 
 // Flush invalidates the entire cache (test helper).
 func (c *Cache) Flush() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = Line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = Line{}
 	}
 	c.valid = 0
 }

@@ -1,0 +1,106 @@
+package coherence
+
+import (
+	"smtpsim/internal/cache"
+	"smtpsim/internal/network"
+)
+
+// EffectPool recycles the effect payloads handlers attach to trace
+// instructions. Effects are single-consumer: the memory controller that owns
+// the dispatch fires each payload exactly once (at PP retire or SMTp
+// graduation) and returns it here, so the steady-state dispatch path
+// allocates no effect structs. A nil pool on the Ctx (tests, trace tooling)
+// falls back to the heap and never releases.
+type EffectPool struct {
+	sends   []*SendEffect
+	refills []*RefillEffect
+	naks    []*NakEffect
+	iacks   []*IAckEffect
+	wbacks  []*WBAckEffect
+}
+
+// NewEffectPool returns an empty pool; free lists grow on release.
+func NewEffectPool() *EffectPool { return &EffectPool{} }
+
+// PutSend releases a fired SendEffect. The message it carried is owned by
+// the network from Send on; the reference is dropped here.
+func (p *EffectPool) PutSend(e *SendEffect) {
+	e.Msg = nil
+	p.sends = append(p.sends, e)
+}
+
+// PutRefill releases a fired RefillEffect.
+func (p *EffectPool) PutRefill(e *RefillEffect) { p.refills = append(p.refills, e) }
+
+// PutNak releases a fired NakEffect.
+func (p *EffectPool) PutNak(e *NakEffect) { p.naks = append(p.naks, e) }
+
+// PutIAck releases a fired IAckEffect.
+func (p *EffectPool) PutIAck(e *IAckEffect) { p.iacks = append(p.iacks, e) }
+
+// PutWBAck releases a fired WBAckEffect.
+func (p *EffectPool) PutWBAck(e *WBAckEffect) { p.wbacks = append(p.wbacks, e) }
+
+// Effect allocators used by the handler programs. Each draws from the
+// dispatch pool when one is attached, initialising every field explicitly
+// (recycled effects carry stale values).
+
+func (c *Ctx) sendEffect(m *network.Message, needsMem bool) *SendEffect {
+	if p := c.Effects; p != nil {
+		if k := len(p.sends); k > 0 {
+			e := p.sends[k-1]
+			p.sends = p.sends[:k-1]
+			e.Msg, e.NeedsMemory = m, needsMem
+			return e
+		}
+	}
+	return &SendEffect{Msg: m, NeedsMemory: needsMem}
+}
+
+func (c *Ctx) refillEffect(line uint64, st cache.State, acks int, upgrade, needsMem bool) *RefillEffect {
+	if p := c.Effects; p != nil {
+		if k := len(p.refills); k > 0 {
+			e := p.refills[k-1]
+			p.refills = p.refills[:k-1]
+			*e = RefillEffect{LineAddr: line, St: st, Acks: acks, Upgrade: upgrade, NeedsMemory: needsMem}
+			return e
+		}
+	}
+	return &RefillEffect{LineAddr: line, St: st, Acks: acks, Upgrade: upgrade, NeedsMemory: needsMem}
+}
+
+func (c *Ctx) nakEffect(line uint64) *NakEffect {
+	if p := c.Effects; p != nil {
+		if k := len(p.naks); k > 0 {
+			e := p.naks[k-1]
+			p.naks = p.naks[:k-1]
+			e.LineAddr = line
+			return e
+		}
+	}
+	return &NakEffect{LineAddr: line}
+}
+
+func (c *Ctx) iackEffect(line uint64) *IAckEffect {
+	if p := c.Effects; p != nil {
+		if k := len(p.iacks); k > 0 {
+			e := p.iacks[k-1]
+			p.iacks = p.iacks[:k-1]
+			e.LineAddr = line
+			return e
+		}
+	}
+	return &IAckEffect{LineAddr: line}
+}
+
+func (c *Ctx) wbackEffect(line uint64) *WBAckEffect {
+	if p := c.Effects; p != nil {
+		if k := len(p.wbacks); k > 0 {
+			e := p.wbacks[k-1]
+			p.wbacks = p.wbacks[:k-1]
+			e.LineAddr = line
+			return e
+		}
+	}
+	return &WBAckEffect{LineAddr: line}
+}

@@ -8,6 +8,7 @@ import (
 	"smtpsim/internal/addrmap"
 	"smtpsim/internal/cache"
 	"smtpsim/internal/directory"
+	"smtpsim/internal/isa"
 	"smtpsim/internal/network"
 	"smtpsim/internal/sim"
 )
@@ -37,6 +38,16 @@ type fuzzSys struct {
 	chans map[[2]int][]*network.Message
 	retry []*retryOp
 	log   []string
+
+	// pool, when non-nil, runs the fuzz through the pooled dispatch path:
+	// every message is drawn from the pool and released at its handling
+	// point, exactly as memctrl.dispatch does. Under -tags poolcheck the
+	// pool poisons released messages, so any handler that re-sends or
+	// retains a dead message fails loudly.
+	pool  *network.Pool
+	table *Table
+	hctx  Ctx
+	tbuf  []isa.Instr
 }
 
 type retryOp struct {
@@ -50,6 +61,7 @@ func newFuzzSys(t *testing.T, nodes int, seed uint64) *fuzzSys {
 		t:     t,
 		rng:   sim.NewRand(seed),
 		chans: map[[2]int][]*network.Message{},
+		table: DefaultTable(),
 	}
 	for i := 0; i < nodes; i++ {
 		s.nodes = append(s.nodes, &fuzzNode{
@@ -151,14 +163,34 @@ func (s *fuzzSys) fail(format string, args ...interface{}) {
 func (s *fuzzSys) handleAt(n *fuzzNode, m *network.Message) {
 	s.logf("node %d handles %v line %#x (from %d req %d aux %d)",
 		n.id, MsgType(m.Type), m.Addr, m.Src, m.Requester, m.Aux)
-	tr := Handle(n.mockEnv, m)
+	var tr []isa.Instr
+	if s.pool != nil {
+		tr = s.table.HandleInto(&s.hctx, n.mockEnv, s.pool, m, s.tbuf)
+		s.tbuf = tr
+	} else {
+		tr = Handle(n.mockEnv, m)
+	}
 	var effs []interface{}
 	for i := range tr {
 		if tr[i].Payload != nil {
 			effs = append(effs, tr[i].Payload)
 		}
 	}
+	if s.pool != nil {
+		// The message dies here, as at the end of memctrl.dispatch.
+		s.pool.Put(m)
+	}
 	s.applyEffects(n, effs)
+}
+
+// piMsg builds a processor-interface message, from the pool when pooled.
+func (s *fuzzSys) piMsg(n *fuzzNode, mt MsgType, line uint64) *network.Message {
+	m := &network.Message{}
+	if s.pool != nil {
+		m = s.pool.Get()
+	}
+	m.Src, m.Dst, m.Type, m.Addr = n.id, n.id, uint8(mt), line
+	return m
 }
 
 func (s *fuzzSys) deliverOne() bool {
@@ -234,7 +266,7 @@ func (s *fuzzSys) issue(n *fuzzNode, line uint64) {
 		n.wantExcl[line] = excl
 	}
 	s.logf("node %d issues %v line %#x (l2 was %v)", n.id, mt, line, st)
-	s.handleAt(n, &network.Message{Src: n.id, Dst: n.id, Type: uint8(mt), Addr: line})
+	s.handleAt(n, s.piMsg(n, mt, line))
 }
 
 func (s *fuzzSys) drainRetries() {
@@ -268,7 +300,7 @@ func (s *fuzzSys) drainRetries() {
 		n.outstanding[r.line] = true
 		n.wantExcl[r.line] = r.excl
 		s.logf("node %d retries %v line %#x", n.id, mt, r.line)
-		s.handleAt(n, &network.Message{Src: n.id, Dst: n.id, Type: uint8(mt), Addr: r.line})
+		s.handleAt(n, s.piMsg(n, mt, r.line))
 	}
 }
 
@@ -346,6 +378,42 @@ func TestProtocolFuzz(t *testing.T) {
 		s.drainRetries()
 		s.drain()
 		s.checkInvariants(lines)
+	}
+}
+
+// TestProtocolFuzzPooled re-runs the protocol fuzz through the pooled
+// dispatch path (HandleInto + explicit Put at the handling point). In the
+// default build this proves pooled message recycling reaches the same
+// drained states; under -tags poolcheck released messages are poisoned, so
+// a handler that re-sends, retains or double-releases a message panics.
+func TestProtocolFuzzPooled(t *testing.T) {
+	const nodes = 4
+	lines := []uint64{0, 128, 4096, 8192, 12288}
+	for seed := uint64(1); seed <= 40; seed++ {
+		s := newFuzzSys(t, nodes, seed)
+		s.pool = network.NewPool()
+		for step := 0; step < 400; step++ {
+			if s.rng.Bool(0.45) {
+				n := s.nodes[s.rng.Intn(nodes)]
+				s.issue(n, lines[s.rng.Intn(len(lines))])
+			}
+			if s.rng.Bool(0.7) {
+				s.deliverOne()
+			}
+			if s.rng.Bool(0.15) {
+				s.drainRetries()
+			}
+		}
+		s.drain()
+		s.drainRetries()
+		s.drain()
+		s.checkInvariants(lines)
+		if s.pool.Puts != s.pool.Gets {
+			// Every message drawn must have died at exactly one handling
+			// point once the system drained.
+			t.Fatalf("seed %d: pool leak: gets=%d news=%d puts=%d",
+				seed, s.pool.Gets, s.pool.News, s.pool.Puts)
+		}
 	}
 }
 

@@ -28,20 +28,20 @@ func (c *Ctx) wbSource() addrmap.NodeID {
 // localEffect converts a reply type into the direct local effect used when
 // the destination is this node itself (the MC's data-reply path to the L2,
 // Figure 1, rather than a network loopback plus a second handler).
-func localEffect(t MsgType, line uint64, acks int, needsMem bool) interface{} {
+func localEffect(c *Ctx, t MsgType, line uint64, acks int, needsMem bool) interface{} {
 	switch t {
 	case MsgPUT:
-		return &RefillEffect{LineAddr: line, St: cache.Shared, NeedsMemory: needsMem}
+		return c.refillEffect(line, cache.Shared, 0, false, needsMem)
 	case MsgPUTX:
-		return &RefillEffect{LineAddr: line, St: cache.Exclusive, Acks: acks, NeedsMemory: needsMem}
+		return c.refillEffect(line, cache.Exclusive, acks, false, needsMem)
 	case MsgUPGACK:
-		return &RefillEffect{LineAddr: line, Upgrade: true, St: cache.Exclusive, Acks: acks}
+		return c.refillEffect(line, cache.Exclusive, acks, true, false)
 	case MsgNAK:
-		return &NakEffect{LineAddr: line}
+		return c.nakEffect(line)
 	case MsgIACK:
-		return &IAckEffect{LineAddr: line}
+		return c.iackEffect(line)
 	case MsgWBACK:
-		return &WBAckEffect{LineAddr: line}
+		return c.wbackEffect(line)
 	}
 	panic("coherence: no local form for message " + t.String())
 }
@@ -51,21 +51,18 @@ func localEffect(t MsgType, line uint64, acks int, needsMem bool) interface{} {
 func emitMsg(t MsgType, dst addrmap.NodeID, c *Ctx, acks int, needsMem bool) interface{} {
 	if dst == c.Env.NodeID() && t.VC() == network.VCReply &&
 		t != MsgSHWB && t != MsgXFER && t != MsgIVNAK {
-		return localEffect(t, c.Line(), acks, needsMem)
+		return localEffect(c, t, c.Line(), acks, needsMem)
 	}
-	return &SendEffect{
-		Msg: &network.Message{
-			Src:       c.Env.NodeID(),
-			Dst:       dst,
-			Requester: c.req(),
-			VC:        t.VC(),
-			Type:      uint8(t),
-			Addr:      c.Line(),
-			Aux:       uint64(acks),
-			DataBytes: t.DataBytes(),
-		},
-		NeedsMemory: needsMem,
-	}
+	m := c.allocMsg()
+	m.Src = c.Env.NodeID()
+	m.Dst = dst
+	m.Requester = c.req()
+	m.VC = t.VC()
+	m.Type = uint8(t)
+	m.Addr = c.Line()
+	m.Aux = uint64(acks)
+	m.DataBytes = t.DataBytes()
+	return c.sendEffect(m, needsMem)
 }
 
 // sendTo wraps emitMsg as a builder effect closure.
@@ -516,37 +513,37 @@ func replyProg(name string, t MsgType, eff effFn) *Program {
 
 func buildPUT() *Program {
 	return replyProg("h_put", MsgPUT, func(c *Ctx) interface{} {
-		return &RefillEffect{LineAddr: c.Line(), St: cache.Shared}
+		return c.refillEffect(c.Line(), cache.Shared, 0, false, false)
 	})
 }
 
 func buildPUTX() *Program {
 	return replyProg("h_putx", MsgPUTX, func(c *Ctx) interface{} {
-		return &RefillEffect{LineAddr: c.Line(), St: cache.Exclusive, Acks: int(c.Msg.Aux)}
+		return c.refillEffect(c.Line(), cache.Exclusive, int(c.Msg.Aux), false, false)
 	})
 }
 
 func buildUPGACK() *Program {
 	return replyProg("h_upgack", MsgUPGACK, func(c *Ctx) interface{} {
-		return &RefillEffect{LineAddr: c.Line(), St: cache.Exclusive, Upgrade: true, Acks: int(c.Msg.Aux)}
+		return c.refillEffect(c.Line(), cache.Exclusive, int(c.Msg.Aux), true, false)
 	})
 }
 
 func buildNAK() *Program {
 	return replyProg("h_nak", MsgNAK, func(c *Ctx) interface{} {
-		return &NakEffect{LineAddr: c.Line()}
+		return c.nakEffect(c.Line())
 	})
 }
 
 func buildIACK() *Program {
 	return replyProg("h_iack", MsgIACK, func(c *Ctx) interface{} {
-		return &IAckEffect{LineAddr: c.Line()}
+		return c.iackEffect(c.Line())
 	})
 }
 
 func buildWBACK() *Program {
 	return replyProg("h_wback", MsgWBACK, func(c *Ctx) interface{} {
-		return &WBAckEffect{LineAddr: c.Line()}
+		return c.wbackEffect(c.Line())
 	})
 }
 

@@ -76,10 +76,20 @@ type WBAckEffect struct{ LineAddr uint64 }
 
 // Ctx is the per-dispatch handler execution context: the message being
 // handled plus semantic scratch state shared by the static programs'
-// closures.
+// closures. Dispatch units reuse one Ctx across handlers via Reset.
 type Ctx struct {
 	Env Env
 	Msg *network.Message
+
+	// Pool, when set, supplies the messages the handler emits; the
+	// controller that owns the dispatch releases them at their sinks. A nil
+	// pool (tests, trace tooling) falls back to the heap.
+	Pool *network.Pool
+
+	// Effects, when set, supplies the effect payloads attached to trace
+	// instructions; the controller releases each one after firing it. Set
+	// once per dispatch unit and preserved across Reset.
+	Effects *EffectPool
 
 	// Scratch state written by actions and read by conditions.
 	E         directory.Entry // current directory entry
@@ -97,6 +107,22 @@ type Ctx struct {
 
 // Line returns the coherence line address of the message.
 func (c *Ctx) Line() uint64 { return addrmap.LineAddr(c.Msg.Addr) }
+
+// Reset re-arms the context for a new dispatch, clearing all scratch state.
+// The effect pool belongs to the dispatch unit, not the dispatch, and is
+// kept.
+func (c *Ctx) Reset(env Env, pool *network.Pool, msg *network.Message) {
+	*c = Ctx{Env: env, Pool: pool, Effects: c.Effects, Msg: msg}
+}
+
+// allocMsg draws an outgoing message from the dispatch pool, or from the
+// heap when executing outside a pooled dispatch path.
+func (c *Ctx) allocMsg() *network.Message {
+	if c.Pool != nil {
+		return c.Pool.Get()
+	}
+	return &network.Message{} //simlint:allow hotalloc -- pool-less Ctx: tests and trace tooling only
+}
 
 // Protocol-thread register conventions (integer logical registers).
 const (
@@ -144,7 +170,14 @@ const maxTraceLen = 4096
 // instructions of every program are the switch/ldctxt pair appended by the
 // builder.
 func (p *Program) Execute(c *Ctx) []isa.Instr {
-	out := make([]isa.Instr, 0, len(p.Code)+4)
+	return p.ExecuteInto(c, make([]isa.Instr, 0, len(p.Code)+4))
+}
+
+// ExecuteInto is Execute appending into a caller-provided buffer (reused
+// across dispatches by the memory controller; released back to it by the
+// protocol execution backend when the handler completes).
+func (p *Program) ExecuteInto(c *Ctx, out []isa.Instr) []isa.Instr {
+	out = out[:0]
 	slot := 0
 	for slot < len(p.Code) {
 		if len(out) >= maxTraceLen {

@@ -29,7 +29,8 @@ const (
 // logged this epoch and where the next log entry goes (one cursor per home
 // so log writes stay node-local).
 type ReviveLog struct {
-	epoch   uint64
+	epoch uint64
+	//simlint:allow hotalloc -- ReVive extension study, not on the base-protocol hot path
 	logged  map[uint64]uint64 // line -> epoch last logged
 	cursors map[addrmap.NodeID]uint64
 

@@ -48,3 +48,12 @@ func (t *Table) Handle(env Env, msg *network.Message) []isa.Instr {
 	c := &Ctx{Env: env, Msg: msg}
 	return t.Program(MsgType(msg.Type)).Execute(c)
 }
+
+// HandleInto is the dispatch-unit fast path: it reuses the caller's context
+// and appends the executed-path trace into buf, so a steady-state dispatch
+// allocates nothing. Emitted messages come from pool (when non-nil).
+func (t *Table) HandleInto(c *Ctx, env Env, pool *network.Pool, msg *network.Message, buf []isa.Instr) []isa.Instr {
+	msg.AssertLive("coherence.HandleInto")
+	c.Reset(env, pool, msg)
+	return t.Program(MsgType(msg.Type)).ExecuteInto(c, buf)
+}

@@ -11,7 +11,10 @@
 //     follow the dotted lowercase schema grammar of METRICS.md and must
 //     not collide within a scope;
 //   - apihygiene: internal/* must not import cmd/*, context.Context comes
-//     first and error comes last in exported signatures.
+//     first and error comes last in exported signatures;
+//   - hotalloc: the per-message hot packages (network, memctrl, coherence,
+//     ppengine) must not heap-allocate network messages with &Message{}
+//     literals or key tracking state on map[uint64] struct fields.
 //
 // Intentional violations are silenced with an annotation on the offending
 // line (or the line above it):
@@ -74,6 +77,11 @@ func Analyzers() []*Analyzer {
 			Name: "apihygiene",
 			Doc:  "internal/* does not import cmd/*; ctx first, error last in exported signatures",
 			Run:  runAPIHygiene,
+		},
+		{
+			Name: "hotalloc",
+			Doc:  "hot packages use pooled messages and dense tables, not &network.Message{} or map[uint64] fields",
+			Run:  runHotAlloc,
 		},
 	}
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -175,7 +176,10 @@ func (l *moduleImporter) load(path string) (*Package, error) {
 	return p, nil
 }
 
-// parseDir parses the non-test Go files of one directory.
+// parseDir parses the non-test Go files of one directory that match the
+// default build configuration (so of a //go:build tag pair like
+// poolcheck_on.go / poolcheck_off.go only the default variant is loaded,
+// keeping the package type-checkable).
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -186,6 +190,9 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, merr := build.Default.MatchFile(dir, name); merr != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -1,0 +1,14 @@
+// Package cold is outside the hot four: the same patterns pass unflagged.
+package cold
+
+import "fixture/internal/network"
+
+// Cache is allowed its address-keyed map here.
+type Cache struct {
+	lines map[uint64]int
+}
+
+// NewMessage may heap-allocate outside the hot path.
+func NewMessage() *network.Message {
+	return &network.Message{}
+}

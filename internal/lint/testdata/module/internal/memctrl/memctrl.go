@@ -1,0 +1,18 @@
+// Package memctrl is a second hot-path fixture: the hotalloc patterns are
+// flagged across package boundaries (qualified network.Message literals).
+package memctrl
+
+import "fixture/internal/network"
+
+// MC tracks outstanding reads by line address.
+type MC struct {
+	reads map[uint64]bool // want hotalloc
+}
+
+func (m *MC) alloc() *network.Message {
+	return &network.Message{} // want hotalloc
+}
+
+func (m *MC) value() network.Message {
+	return network.Message{} // a value literal does not heap-allocate
+}

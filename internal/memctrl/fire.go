@@ -1,0 +1,70 @@
+package memctrl
+
+import (
+	"smtpsim/internal/cache"
+	"smtpsim/internal/network"
+)
+
+// fire is a pooled carrier for the deferred effect actions — sends and
+// refills whose data must wait for the overlapped SDRAM read, and refills
+// crossing the processor bus of a non-integrated controller. It replaces the
+// per-effect closures the controller used to hand the engine: the func value
+// is bound once when the record is allocated, so scheduling a deferred
+// action allocates nothing in steady state.
+type fire struct {
+	mc  *MC
+	run func() // bound to exec once, at allocation
+
+	kind    uint8
+	msg     *network.Message // fireSend
+	line    uint64           // fireRefill
+	st      cache.State
+	acks    int
+	upgrade bool
+	crossed bool // the PIExtraCycles bus hop has been taken
+}
+
+const (
+	fireSend = uint8(iota)
+	fireRefill
+)
+
+// getFire draws a fire record from the controller's free list.
+func (mc *MC) getFire() *fire {
+	if k := len(mc.fireFree); k > 0 {
+		f := mc.fireFree[k-1]
+		mc.fireFree[k-1] = nil
+		mc.fireFree = mc.fireFree[:k-1]
+		return f
+	}
+	f := &fire{mc: mc}
+	f.run = f.exec
+	return f
+}
+
+// exec performs the carried action and returns the record to the free list.
+// Fields are copied to locals and the record released before calling out:
+// the network or the node's miss machinery may re-enter the controller.
+func (f *fire) exec() {
+	mc := f.mc
+	switch f.kind {
+	case fireSend:
+		m := f.msg
+		f.msg = nil
+		mc.fireFree = append(mc.fireFree, f)
+		mc.net.Send(m)
+	case fireRefill:
+		if extra := mc.cfg.PIExtraCycles; extra > 0 && !f.crossed {
+			// Non-integrated controller: the refill crosses the system bus
+			// before reaching the processor. Same record, second leg.
+			f.crossed = true
+			mc.eng.After(extra, f.run)
+			return
+		}
+		line, st, acks, upgrade := f.line, f.st, f.acks, f.upgrade
+		mc.fireFree = append(mc.fireFree, f)
+		mc.node.DeliverRefill(line, st, acks, upgrade)
+	default:
+		panic("memctrl: unknown fire kind")
+	}
+}

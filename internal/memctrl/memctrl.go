@@ -57,6 +57,9 @@ type Config struct {
 	// ProtoBusXferCyc is the SMTp protocol-miss bus transfer time (the
 	// separate 64-bit bus of §2.1).
 	ProtoBusXferCyc sim.Cycle
+	// MemReadTableCap is the initial capacity of the in-flight SDRAM read
+	// table (grown as the touched-line footprint demands; 1024).
+	MemReadTableCap int
 }
 
 // MC is one node's memory controller.
@@ -70,12 +73,22 @@ type MC struct {
 
 	table      *coherence.Table
 	local      []*network.Message
-	in         [network.NumVCs][]*network.Message
+	in         [network.NumVCs]msgRing
 	localFirst bool
 	queued     int // live messages across local+in (excludes in-transit slots)
 
+	// Allocation-free dispatch machinery: handled messages are released to
+	// the machine's pool, handler traces append into recycled buffers
+	// returned by the backend on completion, and the handler context is
+	// reused across dispatches.
+	pool      *network.Pool
+	effects   *coherence.EffectPool
+	traceFree [][]isa.Instr
+	fireFree  []*fire
+	hctx      coherence.Ctx
+
 	sdramBusy sim.Cycle
-	memReads  map[uint64]sim.Cycle // line -> SDRAM data ready time
+	memReads  *readTable // line -> SDRAM data ready time
 
 	protoBusy sim.Cycle // separate protocol-miss bus (SMTp)
 
@@ -130,7 +143,7 @@ func (mc *MC) sampleQueuesN(count uint64) {
 	}
 	mc.localDepth.SampleN(n, count)
 	for vc := range mc.in {
-		mc.vcDepth[vc].SampleN(len(mc.in[vc]), count)
+		mc.vcDepth[vc].SampleN(mc.in[vc].size, count)
 	}
 }
 
@@ -143,15 +156,26 @@ func New(cfg Config, eng *sim.Engine, env coherence.Env, node NodeIface, net *ne
 	if cfg.LocalQueueCap == 0 {
 		cfg.LocalQueueCap = 16
 	}
-	return &MC{
+	if cfg.MemReadTableCap == 0 {
+		cfg.MemReadTableCap = 1024
+	}
+	pool := network.NewPool()
+	if net != nil {
+		pool = net.MsgPool()
+	}
+	mc := &MC{
 		cfg:      cfg,
 		eng:      eng,
 		env:      env,
 		node:     node,
 		net:      net,
+		pool:     pool,
+		effects:  coherence.NewEffectPool(),
 		table:    coherence.DefaultTable(),
-		memReads: make(map[uint64]sim.Cycle),
+		memReads: newReadTable(cfg.MemReadTableCap),
 	}
+	mc.hctx.Effects = mc.effects
+	return mc
 }
 
 // SetTable installs an alternative protocol table (extensions, §6).
@@ -171,15 +195,36 @@ func (mc *MC) EnqueueLocal(m *network.Message) bool {
 		mc.LocalFull++
 		return false
 	}
+	m.AssertLive("memctrl.EnqueueLocal")
+	mc.enqueueLocalReady(m)
+	return true
+}
+
+// EnqueueLocalPI is the pipeline's allocation-free local enqueue: the
+// controller builds the processor-interface message from the machine pool
+// itself, so a full queue (the caller retries) costs nothing.
+func (mc *MC) EnqueueLocalPI(t uint8, line uint64) bool {
+	if len(mc.local) >= mc.cfg.LocalQueueCap {
+		mc.LocalFull++
+		return false
+	}
+	m := mc.pool.Get()
+	id := mc.env.NodeID()
+	m.Src, m.Dst, m.Requester = id, id, id
+	m.Type, m.Addr = t, line
+	mc.enqueueLocalReady(m)
+	return true
+}
+
+func (mc *MC) enqueueLocalReady(m *network.Message) {
 	if mc.cfg.PIExtraCycles > 0 {
 		// Non-integrated controller: the request crosses the system bus.
 		mc.eng.After(mc.cfg.PIExtraCycles, func() { mc.localDeferred(m) })
 		mc.local = append(mc.local, nil) // hold the slot while in transit
-		return true
+		return
 	}
 	mc.local = append(mc.local, m)
 	mc.queued++
-	return true
 }
 
 func (mc *MC) localDeferred(m *network.Message) {
@@ -196,7 +241,8 @@ func (mc *MC) localDeferred(m *network.Message) {
 // EnqueueNet queues an arriving network message into its virtual network's
 // input queue.
 func (mc *MC) EnqueueNet(m *network.Message) {
-	mc.in[m.VC] = append(mc.in[m.VC], m)
+	m.AssertLive("memctrl.EnqueueNet")
+	mc.in[m.VC].push(m)
 	mc.queued++
 }
 
@@ -208,7 +254,7 @@ func (mc *MC) QueuedMessages() int {
 // sdramRead starts (or merges into) a read of line, returning the cycle the
 // data will be available.
 func (mc *MC) sdramRead(line uint64) sim.Cycle {
-	if ready, ok := mc.memReads[line]; ok && ready > mc.eng.Now() {
+	if ready, ok := mc.memReads.get(line); ok && ready > mc.eng.Now() {
 		return ready
 	}
 	now := mc.eng.Now()
@@ -218,7 +264,7 @@ func (mc *MC) sdramRead(line uint64) sim.Cycle {
 	}
 	ready := start + mc.cfg.SDRAMAccessCyc
 	mc.sdramBusy = start + mc.cfg.SDRAMXferCyc
-	mc.memReads[line] = ready
+	mc.memReads.put(line, ready)
 	mc.MemReadsIssued++
 	return ready
 }
@@ -277,13 +323,10 @@ func (mc *MC) pick() *network.Message {
 }
 
 func (mc *MC) popIn(vc network.VC) *network.Message {
-	q := mc.in[vc]
-	if len(q) == 0 {
-		return nil
+	m := mc.in[vc].pop()
+	if m != nil {
+		mc.queued--
 	}
-	m := q[0]
-	mc.in[vc] = q[1:]
-	mc.queued--
 	return m
 }
 
@@ -350,8 +393,33 @@ func (mc *MC) dispatch(m *network.Message) {
 	if t == MsgWBType || t == MsgSHWBType || (t == MsgPIWritebackType && mc.env.HomeOf(m.Addr) == mc.env.NodeID()) {
 		mc.sdramWrite()
 	}
-	trace := mc.table.Handle(mc.env, m)
+	trace := mc.table.HandleInto(&mc.hctx, mc.env, mc.pool, m, mc.getTraceBuf())
+	// The handler has run: its effects copied everything they need, so the
+	// dispatched message is dead here — the universal release point.
+	mc.pool.Put(m)
 	mc.back.Start(trace)
+}
+
+// getTraceBuf returns a recycled handler-trace buffer.
+func (mc *MC) getTraceBuf() []isa.Instr {
+	if k := len(mc.traceFree); k > 0 {
+		b := mc.traceFree[k-1]
+		mc.traceFree[k-1] = nil
+		mc.traceFree = mc.traceFree[:k-1]
+		return b[:0]
+	}
+	return make([]isa.Instr, 0, 64)
+}
+
+// ReleaseTrace returns a handler trace to the buffer free list. The
+// protocol execution backend calls it when the handler completes (PP done;
+// SMTp ldctxt graduation), after which nothing references the buffer —
+// every trace instruction was copied by value into its uop.
+func (mc *MC) ReleaseTrace(t []isa.Instr) {
+	if cap(t) == 0 {
+		return
+	}
+	mc.traceFree = append(mc.traceFree, t)
 }
 
 // Aliases to avoid exporting coherence constants through this package's API.
@@ -363,50 +431,59 @@ const (
 
 // FireEffect applies a trace instruction's payload. Called by the backend
 // when the carrying instruction completes (PP retire or SMTp graduation).
+// This is the single consumer of effect payloads: each one is copied into a
+// pooled fire record (or fired inline) and released back to the dispatch
+// unit's effect pool before the action runs.
 func (mc *MC) FireEffect(p interface{}) {
 	switch e := p.(type) {
 	case *coherence.SendEffect:
-		mc.fireWhenReady(e.NeedsMemory, e.Msg.Addr, func() { mc.net.Send(e.Msg) })
+		f := mc.getFire()
+		f.kind, f.msg = fireSend, e.Msg
+		needsMem, addr := e.NeedsMemory, e.Msg.Addr
+		mc.effects.PutSend(e)
+		mc.fireWhenReady(needsMem, addr, f)
 	case *coherence.RefillEffect:
-		extra := mc.cfg.PIExtraCycles
-		mc.fireWhenReady(e.NeedsMemory, e.LineAddr, func() {
-			if extra > 0 {
-				mc.eng.After(extra, func() {
-					mc.node.DeliverRefill(e.LineAddr, e.St, e.Acks, e.Upgrade)
-				})
-				return
-			}
-			mc.node.DeliverRefill(e.LineAddr, e.St, e.Acks, e.Upgrade)
-		})
+		f := mc.getFire()
+		f.kind, f.line, f.st, f.acks, f.upgrade, f.crossed =
+			fireRefill, e.LineAddr, e.St, e.Acks, e.Upgrade, false
+		needsMem := e.NeedsMemory
+		mc.effects.PutRefill(e)
+		mc.fireWhenReady(needsMem, f.line, f)
 	case *coherence.NakEffect:
-		mc.node.DeliverNak(e.LineAddr)
+		line := e.LineAddr
+		mc.effects.PutNak(e)
+		mc.node.DeliverNak(line)
 	case *coherence.IAckEffect:
-		mc.node.DeliverIAck(e.LineAddr)
+		line := e.LineAddr
+		mc.effects.PutIAck(e)
+		mc.node.DeliverIAck(line)
 	case *coherence.WBAckEffect:
-		mc.node.DeliverWBAck(e.LineAddr)
+		line := e.LineAddr
+		mc.effects.PutWBAck(e)
+		mc.node.DeliverWBAck(line)
 	default:
 		panic("memctrl: unknown effect payload")
 	}
 }
 
-// fireWhenReady runs fn now, or once the overlapped SDRAM read of line has
-// completed.
-func (mc *MC) fireWhenReady(needsMem bool, addr uint64, fn func()) {
+// fireWhenReady runs f now, or once the overlapped SDRAM read of its line
+// has completed.
+func (mc *MC) fireWhenReady(needsMem bool, addr uint64, f *fire) {
 	if !needsMem {
-		fn()
+		f.exec()
 		return
 	}
 	line := addrmap.LineAddr(addr)
-	ready, ok := mc.memReads[line]
+	ready, ok := mc.memReads.get(line)
 	if !ok {
 		// Defensive: the dispatch-time read was skipped; start it now.
 		ready = mc.sdramRead(line)
 	}
 	if ready <= mc.eng.Now() {
-		fn()
+		f.exec()
 		return
 	}
-	mc.eng.Schedule(ready, fn)
+	mc.eng.Schedule(ready, f.run)
 }
 
 // ProtoBusBusyUntil exposes the protocol bus reservation (debug aid).

@@ -82,7 +82,7 @@ type rig struct {
 	mcs   []*MC
 }
 
-func newRig(t *testing.T, nodes int, cfg Config) *rig {
+func newRig(t testing.TB, nodes int, cfg Config) *rig {
 	t.Helper()
 	r := &rig{eng: sim.NewEngine()}
 	r.net = network.New(network.Config{Nodes: nodes, HopCycles: 50, BytesPerCyc: 0.5, LocalLoop: 4},

@@ -11,12 +11,19 @@ import (
 // itself, so retiring effects become visible in dispatch order.
 type PPBackend struct {
 	Engine *ppengine.Engine
+	cur    []isa.Instr // trace being executed, recycled on completion
 }
 
-// NewPPBackend builds the backend; effects fire into the controller.
+// NewPPBackend builds the backend; effects fire into the controller, and
+// the handler's trace buffer is recycled when the PP finishes it.
 func NewPPBackend(cfg ppengine.Config, mc *MC) *PPBackend {
 	b := &PPBackend{}
-	b.Engine = ppengine.New(cfg, mc.FireEffect, func() {})
+	b.Engine = ppengine.New(cfg, mc.FireEffect, func() {
+		if b.cur != nil {
+			mc.ReleaseTrace(b.cur)
+			b.cur = nil
+		}
+	})
 	return b
 }
 
@@ -25,6 +32,7 @@ func (b *PPBackend) CanAccept() bool { return !b.Engine.Busy() }
 
 // Start implements Backend.
 func (b *PPBackend) Start(trace []isa.Instr) {
+	b.cur = trace
 	if !b.Engine.Start(trace) {
 		panic("memctrl: PP backend Start while busy")
 	}

@@ -41,8 +41,12 @@ func (v VC) String() string {
 const HeaderBytes = 16
 
 // Message is one protocol transaction flit-train. Type values are defined
-// by the coherence package; the network treats them opaquely.
+// by the coherence package; the network treats them opaquely. Messages on
+// the hot protocol paths are recycled through a Pool; the embedded
+// poolState is empty unless the poolcheck build tag poisons released
+// messages to catch use-after-release.
 type Message struct {
+	poolState
 	Src, Dst  addrmap.NodeID
 	Requester addrmap.NodeID // original requester for three-hop transactions
 	VC        VC
@@ -69,21 +73,24 @@ type Network struct {
 	eng     *sim.Engine
 	deliver func(*Message)
 
-	// linkBusy reserves each directed link (bristle and dimension links)
-	// until its last accepted message finishes serializing.
-	linkBusy map[linkID]sim.Cycle
+	// linkBusy reserves each directed link until its last accepted message
+	// finishes serializing. Every link of the bristled hypercube has a fixed
+	// slot in this dense table, sized from the node count at construction:
+	// [0, Nodes) are the node->router bristles, [dimBase, ejBase) the
+	// router->router dimension links (router*dims + dimension), and
+	// [ejBase, ejBase+Nodes) the router->node ejection bristles.
+	linkBusy []sim.Cycle
+	dims     int // hypercube dimensions of the router mesh
+	dimBase  int // first router->router slot
+	ejBase   int // first router->node slot
+
+	pool  Pool        // the machine's message recycler
+	dfree []*delivery // pooled in-flight delivery records
 
 	Sent      uint64
 	Delivered uint64
 	BytesSent uint64
 	LinkWaits uint64 // messages that queued behind a busy link
-}
-
-// linkID names a directed link.
-type linkID struct {
-	kind uint8 // 0 = node->router, 1 = router->router, 2 = router->node
-	from int
-	to   int
 }
 
 // New builds a network. deliver is invoked (from the event loop) when a
@@ -101,28 +108,35 @@ func New(cfg Config, eng *sim.Engine, deliver func(*Message)) *Network {
 	if cfg.LocalLoop == 0 {
 		cfg.LocalLoop = 4
 	}
-	return &Network{
-		cfg:      cfg,
-		eng:      eng,
-		deliver:  deliver,
-		linkBusy: make(map[linkID]sim.Cycle),
+	routers := (cfg.Nodes + 1) / 2
+	dims := bits.Len(uint(routers - 1))
+	n := &Network{
+		cfg:     cfg,
+		eng:     eng,
+		deliver: deliver,
+		dims:    dims,
+		dimBase: cfg.Nodes,
+		ejBase:  cfg.Nodes + routers*dims,
 	}
+	n.linkBusy = make([]sim.Cycle, n.ejBase+cfg.Nodes)
+	return n
 }
 
-// route lists the directed links a message crosses, in order.
-func (n *Network) route(a, b addrmap.NodeID) []linkID {
-	path := []linkID{{kind: 0, from: int(a), to: routerOf(a)}}
-	cur := routerOf(a)
-	dst := routerOf(b)
-	for d := 0; cur != dst; d++ {
-		bit := 1 << uint(d)
-		if (cur^dst)&bit != 0 {
-			next := cur ^ bit
-			path = append(path, linkID{kind: 1, from: cur, to: next})
-			cur = next
-		}
+// MsgPool returns the machine-wide message recycler. Every message sink
+// (the controllers' dispatch units) releases into it; every hot producer
+// (coherence handlers, the processor interface) draws from it.
+func (n *Network) MsgPool() *Pool { return &n.pool }
+
+// reserveLink queues the message behind link slot l: the transfer starts at
+// t or when the link frees, whichever is later, and holds the link for ser
+// cycles. Returns the (possibly delayed) start time.
+func (n *Network) reserveLink(l int, t, ser sim.Cycle) sim.Cycle {
+	if b := n.linkBusy[l]; b > t {
+		t = b
+		n.LinkWaits++
 	}
-	return append(path, linkID{kind: 2, from: cur, to: int(b)})
+	n.linkBusy[l] = t + ser
+	return t
 }
 
 // routerOf maps a node to its router in the 2-way bristled topology.
@@ -161,6 +175,7 @@ func serCycles(bytes int, bpc float64) sim.Cycle {
 // per-hop latency, serialization, and ejection-port queuing; delivery is a
 // scheduled event calling the deliver callback.
 func (n *Network) Send(m *Message) {
+	m.AssertLive("network.Send")
 	n.Sent++
 	n.BytesSent += uint64(m.Bytes())
 	now := n.eng.Now()
@@ -168,10 +183,7 @@ func (n *Network) Send(m *Message) {
 	if m.Src == m.Dst {
 		// MC loopback (e.g. home == requester replies to itself) does not
 		// traverse the router.
-		n.eng.Schedule(now+n.cfg.LocalLoop, func() {
-			n.Delivered++
-			n.deliver(m)
-		})
+		n.eng.Schedule(now+n.cfg.LocalLoop, n.deliveryFn(m))
 		return
 	}
 
@@ -180,20 +192,51 @@ func (n *Network) Send(m *Message) {
 	// Reserve bandwidth on every link of the dimension-ordered route; the
 	// pipelined message advances as each link frees.
 	t := now
-	for _, l := range n.route(m.Src, m.Dst) {
-		if b := n.linkBusy[l]; b > t {
-			t = b
-			n.LinkWaits++
+	t = n.reserveLink(int(m.Src), t, ser)
+	cur, dst := routerOf(m.Src), routerOf(m.Dst)
+	for d := 0; cur != dst; d++ {
+		bit := 1 << uint(d)
+		if (cur^dst)&bit != 0 {
+			t = n.reserveLink(n.dimBase+cur*n.dims+d, t, ser)
+			cur ^= bit
 		}
-		n.linkBusy[l] = t + ser
 	}
+	t = n.reserveLink(n.ejBase+int(m.Dst), t, ser)
+
 	// Head latency over the hops plus injection and ejection serialization.
 	done := t + 2*ser + sim.Cycle(n.Hops(m.Src, m.Dst))*n.cfg.HopCycles
+	n.eng.Schedule(done, n.deliveryFn(m))
+}
 
-	n.eng.Schedule(done, func() {
-		n.Delivered++
-		n.deliver(m)
-	})
+// delivery is a pooled pending-arrival record. The callback handed to the
+// event queue is bound once per record and the record recycles itself on
+// firing, so a steady-state Send schedules without allocating.
+type delivery struct {
+	n  *Network
+	m  *Message
+	fn func()
+}
+
+func (n *Network) deliveryFn(m *Message) func() {
+	var d *delivery
+	if k := len(n.dfree); k > 0 {
+		d = n.dfree[k-1]
+		n.dfree[k-1] = nil
+		n.dfree = n.dfree[:k-1]
+	} else {
+		d = &delivery{n: n}
+		d.fn = d.fire
+	}
+	d.m = m
+	return d.fn
+}
+
+func (d *delivery) fire() {
+	n, m := d.n, d.m
+	d.m = nil
+	n.dfree = append(n.dfree, d)
+	n.Delivered++
+	n.deliver(m)
 }
 
 // InFlight reports the number of sent-but-undelivered messages.

@@ -229,22 +229,36 @@ func TestDisjointRoutesDoNotContend(t *testing.T) {
 
 func TestRouteStructure(t *testing.T) {
 	n, _ := mk(32, nil)
-	// 0 -> 31: routers 0 -> 15, dimensions 0,1,2,3 in order.
-	path := n.route(0, 31)
-	if len(path) != 6 { // bristle up + 4 dimension links + bristle down
-		t.Fatalf("route length %d, want 6", len(path))
+	// 32 nodes: 16 routers, 4 dimensions. Link-table layout: [0,32) the
+	// node->router bristles, [32,96) router->router slots (router*4+dim),
+	// [96,128) the router->node bristles.
+	if n.dims != 4 || n.dimBase != 32 || n.ejBase != 96 || len(n.linkBusy) != 128 {
+		t.Fatalf("table layout dims=%d dimBase=%d ejBase=%d len=%d",
+			n.dims, n.dimBase, n.ejBase, len(n.linkBusy))
 	}
-	if path[0].kind != 0 || path[len(path)-1].kind != 2 {
-		t.Fatal("route must start and end on bristle links")
-	}
-	cur := 0
-	for _, l := range path[1 : len(path)-1] {
-		if l.kind != 1 || l.from != cur {
-			t.Fatalf("broken dimension chain: %+v from %d", l, cur)
+	// 0 -> 31: routers 0 -> 15, correcting dimensions 0,1,2,3 in order:
+	// router path 0 -> 1 -> 3 -> 7 -> 15.
+	n.Send(&Message{Src: 0, Dst: 31})
+	var used []int
+	for i, b := range n.linkBusy {
+		if b != 0 {
+			used = append(used, i)
 		}
-		cur = l.to
 	}
-	if cur != 15 {
-		t.Fatalf("route ends at router %d, want 15", cur)
+	want := []int{
+		0,            // node 0 -> router 0 bristle
+		32 + 0*4 + 0, // router 0, dimension 0
+		32 + 1*4 + 1, // router 1, dimension 1
+		32 + 3*4 + 2, // router 3, dimension 2
+		32 + 7*4 + 3, // router 7, dimension 3
+		96 + 31,      // router 15 -> node 31 bristle
+	}
+	if len(used) != len(want) {
+		t.Fatalf("reserved slots %v, want %v", used, want)
+	}
+	for i := range want {
+		if used[i] != want[i] {
+			t.Fatalf("reserved slots %v, want %v", used, want)
+		}
 	}
 }

@@ -1,0 +1,18 @@
+//go:build !poolcheck
+
+package network
+
+// PoolCheckEnabled reports whether released-message poisoning is compiled
+// in (the poolcheck build tag).
+const PoolCheckEnabled = false
+
+// poolState is empty without the poolcheck build tag; it adds no bytes to
+// Message and the lifecycle hooks below compile to nothing.
+type poolState struct{}
+
+// poison marks m released; no-op without the poolcheck build tag.
+func (m *Message) poison() {}
+
+// AssertLive panics if m was released to a Pool; no-op without the
+// poolcheck build tag.
+func (m *Message) AssertLive(string) {}

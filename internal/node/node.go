@@ -92,6 +92,7 @@ func New(cfg Config) *Node {
 		n.MC.SetBackend(n.PP)
 	} else {
 		n.MC.SetBackend(n.Pipe.Backend())
+		n.Pipe.SetTraceRelease(n.MC.ReleaseTrace)
 	}
 	cfg.Engine.AddClocked(n.Pipe, 1, 0)
 	// The core ticks lazily: due-but-idle cycles defer until input arrives
@@ -120,6 +121,9 @@ func (n *Node) OnNetMessage(m *network.Message) {
 }
 
 func (n *Node) unpark(line uint64) {
+	if len(n.parked) == 0 {
+		return // nothing parked anywhere: skip the map lookup entirely
+	}
 	if msgs, ok := n.parked[line]; ok {
 		delete(n.parked, line)
 		for _, m := range msgs {
@@ -192,9 +196,8 @@ func (n *Node) CacheDowngrade(line uint64) bool { return n.Pipe.CacheDowngrade(l
 
 type downstream Node
 
-func (d *downstream) EnqueueLocal(m *network.Message) bool {
-	m.Src, m.Dst, m.Requester = d.ID, d.ID, d.ID
-	return d.MC.EnqueueLocal(m)
+func (d *downstream) EnqueueLocal(t uint8, line uint64) bool {
+	return d.MC.EnqueueLocalPI(t, line)
 }
 
 func (d *downstream) ProtocolMiss(line uint64, cb func()) { d.MC.ProtocolMiss(line, cb) }

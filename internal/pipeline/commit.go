@@ -69,9 +69,9 @@ func (p *Pipeline) retire(u *uop, t *thread, now sim.Cycle) {
 	if u.in.Payload != nil && u.in.Op != isa.OpLdctxt {
 		p.down.FireEffect(u.in.Payload)
 	}
-	if u.physDst >= 0 && !p.isReady(u.in.Dst.IsFP(), u.physDst) {
+	if u.rdyDst >= 0 {
 		// Uncached loads (switch/ldctxt) produce their value at graduation.
-		p.setReady(u.in.Dst.IsFP(), u.physDst, true)
+		p.ready[u.rdyDst] = true
 	}
 	if u.inLSQ {
 		p.lsq = removeUop(p.lsq, u)

@@ -28,7 +28,7 @@ func (p *Pipeline) DumpState() {
 		fmt.Printf("  proto fetchable=%v peek=%v stallUntil=%d\n", p.fetchable(pt, sim.Cycle(1<<62)), p.proto.peek() != nil, pt.fetchStallUntil)
 	}
 	if p.proto != nil {
-		fmt.Printf("  protoQ=%d", len(p.proto.queue))
+		fmt.Printf("  protoQ=%d", p.proto.qlen)
 		for _, r := range p.proto.queue {
 			fmt.Printf(" [fetch %d/%d]", r.fetchIdx, len(r.trace))
 		}

@@ -32,16 +32,21 @@ func (p *Pipeline) issueQueue(q *[]*uop, units int, now sim.Cycle) {
 	if len(*q) == 0 {
 		return
 	}
-	// Oldest-first selection (scratch buffer reused across cycles).
+	// One pass: drop squashed entries eagerly so they don't occupy slots,
+	// and collect ready candidates (scratch buffer reused across cycles).
 	ready := p.scratch[:0]
+	kept := (*q)[:0]
 	for _, u := range *q {
 		if u.squashed {
 			continue
 		}
+		kept = append(kept, u)
 		if p.srcsReady(u) {
 			ready = append(ready, u)
 		}
 	}
+	*q = kept
+	// Oldest-first selection.
 	sortBySeq(ready)
 	p.scratch = ready[:0]
 	issued := 0
@@ -63,14 +68,6 @@ func (p *Pipeline) issueQueue(q *[]*uop, units int, now sim.Cycle) {
 		p.inflight = append(p.inflight, u)
 		issued++
 	}
-	// Drop squashed entries eagerly so they don't occupy slots.
-	kept := (*q)[:0]
-	for _, u := range *q {
-		if !u.squashed {
-			kept = append(kept, u)
-		}
-	}
-	*q = kept
 }
 
 // issueMem issues at most one memory operation per cycle (the dedicated
@@ -137,6 +134,7 @@ func (p *Pipeline) writeback(now sim.Cycle) {
 	for _, u := range p.inflight {
 		if u.squashed {
 			p.active = true // dropping a squashed op shrinks inflight
+			p.freeUop(u)    // its last reference was this list
 			continue
 		}
 		if u.doneAt > now {
@@ -153,8 +151,8 @@ func (p *Pipeline) writeback(now sim.Cycle) {
 func (p *Pipeline) complete(u *uop, now sim.Cycle) {
 	u.executed = true
 	u.stage = sDone
-	if u.physDst >= 0 {
-		p.setReady(u.in.Dst.IsFP(), u.physDst, true)
+	if u.rdyDst >= 0 {
+		p.ready[u.rdyDst] = true
 	}
 	if u.in.Op == isa.OpBranch {
 		p.resolveBranch(u, now)
@@ -224,6 +222,12 @@ func (p *Pipeline) squashAfter(t *thread, u *uop) {
 			v.counted = false
 			t.frontCount--
 		}
+		// Nothing references the op any more unless it is mid-execution
+		// (writeback drops it) or parked on an MSHR / protocol-retry timer
+		// (the refill's squashed-waiter skip drops it).
+		if !v.waitingMem && !(v.issued && v.stage != sDone) {
+			p.freeUop(v)
+		}
 	}
 	// Instructions younger than the branch that are still in the front-end
 	// queues were never pushed onto the active list; purge them too.
@@ -238,6 +242,7 @@ func (p *Pipeline) squashAfter(t *thread, u *uop) {
 					v.counted = false
 					t.frontCount--
 				}
+				p.freeUop(v) // never issued, referenced only by this queue
 				continue
 			}
 			kept = append(kept, v)

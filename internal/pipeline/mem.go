@@ -5,7 +5,6 @@ import (
 	"smtpsim/internal/cache"
 	"smtpsim/internal/coherence"
 	"smtpsim/internal/isa"
-	"smtpsim/internal/network"
 	"smtpsim/internal/sim"
 )
 
@@ -89,8 +88,7 @@ func (p *Pipeline) handleL2Eviction(ev cache.Line) {
 // sendPI enqueues a processor-interface message, retrying while the local
 // miss interface is full.
 func (p *Pipeline) sendPI(t coherence.MsgType, line uint64) {
-	m := &network.Message{Type: uint8(t), Addr: line}
-	if !p.down.EnqueueLocal(m) {
+	if !p.down.EnqueueLocal(uint8(t), line) {
 		p.SendPISpins++
 		p.after(4, func() { p.sendPI(t, line) })
 	}
@@ -219,10 +217,12 @@ func (p *Pipeline) protoL2Miss(u *uop, line uint64, addr uint64, isStore bool) {
 		for _, w := range e.Waiters {
 			switch v := w.(type) {
 			case *uop:
-				if !v.squashed {
-					p.fillL1DProto(addr)
-					p.loadDone(v, now+1)
+				if v.squashed {
+					p.freeUop(v) // last reference was the waiter list
+					continue
 				}
+				p.fillL1DProto(addr)
+				p.loadDone(v, now+1)
 			case *storeEntry:
 				p.performStore(v)
 			}
@@ -344,6 +344,7 @@ func (p *Pipeline) DeliverRefill(line uint64, st cache.State, acks int, upgrade 
 		switch v := w.(type) {
 		case *uop:
 			if v.squashed {
+				p.freeUop(v) // last reference was the waiter list
 				continue
 			}
 			p.fillL1D(p.threads[v.tid], v.in.Addr, false)

@@ -17,7 +17,6 @@ import (
 	"smtpsim/internal/bpred"
 	"smtpsim/internal/cache"
 	"smtpsim/internal/isa"
-	"smtpsim/internal/network"
 	"smtpsim/internal/sim"
 	"smtpsim/internal/stats"
 )
@@ -96,8 +95,11 @@ func DefaultConfig(appThreads int, smtp bool) Config {
 
 // Downstream is the pipeline's interface to the node's memory controller.
 type Downstream interface {
-	// EnqueueLocal queues a processor-interface request; false = queue full.
-	EnqueueLocal(m *network.Message) bool
+	// EnqueueLocal queues a processor-interface request of the given
+	// message type for a line; false = queue full. Passing the two scalars
+	// (rather than a *network.Message) lets the controller draw the backing
+	// message from its pool only once the queue has room.
+	EnqueueLocal(t uint8, line uint64) bool
 	// ProtocolMiss services an SMTp protocol-thread L2 miss on the separate
 	// protocol bus.
 	ProtocolMiss(line uint64, cb func())
@@ -131,10 +133,15 @@ type uop struct {
 	seq   uint64 // global age
 	haveQ bool   // occupies decode/rename queue accounting
 
-	// Register renaming.
+	// Register renaming. The rdy* fields are the sources'/destination's
+	// indices into the pipeline's flat ready array (FP bank offset folded in
+	// at rename), so per-cycle wakeup checks are bare slice loads.
 	physDst, oldDst int16
 	physSrc1        int16
 	physSrc2        int16
+	rdySrc1         int16
+	rdySrc2         int16
+	rdyDst          int16
 
 	// Branch state.
 	pred      bpred.Prediction
@@ -153,6 +160,7 @@ type uop struct {
 	doneAt     sim.Cycle
 	waitingMem bool // load parked on an MSHR
 	polled     bool // head-of-ROB sync wait has registered its first poll
+	pooled     bool // on the free list (double-free guard)
 
 	wrongPath bool
 }
@@ -200,6 +208,9 @@ type Pipeline struct {
 	acksWanted map[uint64]int
 
 	proto *protoState
+	// traceRelease, when set, takes back a finished protocol-handler trace
+	// buffer (the memory controller recycles it for the next dispatch).
+	traceRelease func([]isa.Instr)
 
 	ckptsArr []checkpoint
 	inflight []*uop
@@ -341,6 +352,10 @@ func (p *Pipeline) newUop() *uop {
 }
 
 func (p *Pipeline) freeUop(u *uop) {
+	if u.pooled {
+		panic("pipeline: uop freed twice")
+	}
+	u.pooled = true
 	p.uopPool = append(p.uopPool, u)
 }
 
@@ -363,6 +378,10 @@ func (p *Pipeline) SetSource(tid int, src InstrSource) {
 	p.extInput() // a fresh stream can make an idle thread fetchable
 	p.threads[tid].source = src
 }
+
+// SetTraceRelease installs the callback that reclaims a protocol handler's
+// trace buffer once its trailing ldctxt graduates.
+func (p *Pipeline) SetTraceRelease(fn func([]isa.Instr)) { p.traceRelease = fn }
 
 // Backend returns the SMTp protocol backend for the memory controller.
 func (p *Pipeline) Backend() *ProtoBackend {
@@ -490,7 +509,7 @@ func (p *Pipeline) Skipped(n uint64, last sim.Cycle) {
 	nctx := len(p.threads)
 	p.commitRR = (p.commitRR + int(n%uint64(nctx))) % nctx
 	now := last // the last elided cycle; any cycle in the window answers alike
-	if p.proto != nil && len(p.proto.queue) <= 1 {
+	if p.proto != nil && p.proto.qlen <= 1 {
 		if u := p.threads[p.ProtoTID()].robPeek(); u != nil && u.in.Op == isa.OpSwitch {
 			p.proto.SwitchStallCycles += n
 		}

@@ -35,10 +35,10 @@ type mockDown struct {
 	fired []interface{}
 }
 
-func (d *mockDown) EnqueueLocal(m *network.Message) bool {
+func (d *mockDown) EnqueueLocal(t uint8, line uint64) bool {
+	m := &network.Message{Type: t, Addr: line}
 	d.msgs = append(d.msgs, m)
 	if d.auto {
-		line := m.Addr
 		switch coherence.MsgType(m.Type) {
 		case coherence.MsgPIRead, coherence.MsgPIWrite:
 			d.eng.After(d.delay, func() { d.p.DeliverRefill(line, cache.Exclusive, 0, false) })
@@ -426,8 +426,8 @@ func TestProtocolThreadExecutesHandler(t *testing.T) {
 		t.Fatalf("send effect must fire at graduation: %v", r.down.fired)
 	}
 	// The handler's switch now blocks: ldctxt not yet graduated, queue len 1.
-	if len(r.p.proto.queue) != 1 {
-		t.Fatalf("handler must park on switch until the next request; queue=%d", len(r.p.proto.queue))
+	if r.p.proto.qlen != 1 {
+		t.Fatalf("handler must park on switch until the next request; queue=%d", r.p.proto.qlen)
 	}
 	if !b.CanAccept() {
 		t.Fatal("dispatch must accept one more (the pending request)")
@@ -438,8 +438,8 @@ func TestProtocolThreadExecutesHandler(t *testing.T) {
 	if len(r.down.fired) != 2 {
 		t.Fatalf("second handler's effect must fire: %v", r.down.fired)
 	}
-	if len(r.p.proto.queue) != 1 {
-		t.Fatalf("first handler must have popped; queue=%d", len(r.p.proto.queue))
+	if r.p.proto.qlen != 1 {
+		t.Fatalf("first handler must have popped; queue=%d", r.p.proto.qlen)
 	}
 	if r.p.Retired[r.p.ProtoTID()] == 0 {
 		t.Fatal("protocol instructions must retire")

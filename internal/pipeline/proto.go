@@ -11,10 +11,13 @@ import (
 type protoState struct {
 	p *Pipeline
 
-	// queue[0] is the executing handler; queue[1], when present, is the
-	// next dispatched handler (its header is what the executing handler's
-	// switch instruction loads).
-	queue []*handlerRun
+	// queue[:qlen] holds the dispatched handlers in place: queue[0] is the
+	// executing handler; queue[1], when present, is the next dispatched
+	// handler (its header is what the executing handler's switch
+	// instruction loads). A fixed two-slot array (the dispatch unit depth)
+	// avoids the per-handler allocation a pointer queue would make.
+	queue [2]handlerRun
+	qlen  int
 
 	// Paper state mirrors (ldctxt_id and the Look Ahead bit). With the
 	// oracle wrong-path model the look-ahead squash-recovery case cannot
@@ -42,18 +45,18 @@ func (ps *protoState) fetched(r *handlerRun) bool { return r.fetchIdx >= len(r.t
 // peek returns the next protocol instruction to fetch, or nil when PPCV is
 // clear (no handler ready to fetch).
 func (ps *protoState) peek() *isa.Instr {
-	if len(ps.queue) == 0 {
+	if ps.qlen == 0 {
 		return nil
 	}
-	r0 := ps.queue[0]
+	r0 := &ps.queue[0]
 	if !ps.fetched(r0) {
 		return &r0.trace[r0.fetchIdx]
 	}
 	// r0 fully fetched: under LAS the look-ahead handler's PC has already
 	// been handed out; without LAS fetch waits for r0's ldctxt to graduate
 	// (which pops r0).
-	if ps.p.cfg.LAS && len(ps.queue) > 1 {
-		r1 := ps.queue[1]
+	if ps.p.cfg.LAS && ps.qlen > 1 {
+		r1 := &ps.queue[1]
 		if !ps.fetched(r1) {
 			return &r1.trace[r1.fetchIdx]
 		}
@@ -63,9 +66,9 @@ func (ps *protoState) peek() *isa.Instr {
 
 // advance consumes the peeked instruction.
 func (ps *protoState) advance() {
-	r := ps.queue[0]
+	r := &ps.queue[0]
 	if ps.fetched(r) {
-		r = ps.queue[1]
+		r = &ps.queue[1]
 		if !ps.lookAhead {
 			// Starting to fetch the look-ahead handler: set the Look Ahead
 			// bit and remember the previous handler's ldctxt (sequence
@@ -82,7 +85,7 @@ func (ps *protoState) advance() {
 // can complete: the next request must have been dispatched (its header is
 // what switch loads). The memory controller unblocks it by dispatching.
 func (ps *protoState) switchReady() bool {
-	if len(ps.queue) > 1 {
+	if ps.qlen > 1 {
 		return true
 	}
 	ps.SwitchStallCycles++
@@ -92,10 +95,18 @@ func (ps *protoState) switchReady() bool {
 // handlerDone runs when a handler's trailing ldctxt graduates: the handler
 // is complete and the dispatch slot frees.
 func (ps *protoState) handlerDone() {
-	if len(ps.queue) == 0 {
+	if ps.qlen == 0 {
 		panic("pipeline: ldctxt graduated with no handler in flight")
 	}
-	ps.queue = ps.queue[1:]
+	// The trailing ldctxt graduates in program order, so every uop of the
+	// handler has retired (each holding its Instr by value): the trace
+	// buffer can go back to the dispatch unit for reuse.
+	if ps.p.traceRelease != nil {
+		ps.p.traceRelease(ps.queue[0].trace)
+	}
+	ps.queue[0] = ps.queue[1]
+	ps.queue[1] = handlerRun{}
+	ps.qlen--
 	ps.lookAhead = false
 }
 
@@ -105,15 +116,15 @@ func (ps *protoState) handlerDone() {
 // next request is idle, exactly as in the paper's accounting.
 func (ps *protoState) active() bool {
 	t := ps.p.threads[ps.p.ProtoTID()]
-	if len(ps.queue) == 0 {
+	if ps.qlen == 0 {
 		return false
 	}
 	if t.robCount == 0 {
 		// Something is dispatched but not yet in the ROB: fetching counts.
 		return ps.peek() != nil
 	}
-	if t.robCount <= 2 && len(ps.queue) == 1 {
-		if head := t.robPeek(); head != nil && head.in.Op == isa.OpSwitch && ps.fetched(ps.queue[0]) {
+	if t.robCount <= 2 && ps.qlen == 1 {
+		if head := t.robPeek(); head != nil && head.in.Op == isa.OpSwitch && ps.fetched(&ps.queue[0]) {
 			return false // parked on switch with no pending request
 		}
 	}
@@ -131,11 +142,11 @@ func (p *Pipeline) ProtoQuiesced() bool {
 	}
 	ps := p.proto
 	t := p.threads[p.ProtoTID()]
-	switch len(ps.queue) {
+	switch ps.qlen {
 	case 0:
 		return t.robCount == 0 && t.frontCount == 0
 	case 1:
-		if !ps.fetched(ps.queue[0]) {
+		if !ps.fetched(&ps.queue[0]) {
 			return false
 		}
 		if t.robCount > 2 || t.frontCount > 2 {
@@ -157,7 +168,7 @@ type ProtoBackend struct {
 // CanAccept implements memctrl.Backend: the dispatch unit holds the
 // executing handler plus one pending request.
 func (b *ProtoBackend) CanAccept() bool {
-	return len(b.p.proto.queue) < 2
+	return b.p.proto.qlen < 2
 }
 
 // Start implements memctrl.Backend.
@@ -167,10 +178,11 @@ func (b *ProtoBackend) Start(trace []isa.Instr) {
 	// reads the pre-dispatch queue depth.
 	b.p.extInput()
 	ps := b.p.proto
-	if len(ps.queue) >= 2 {
+	if ps.qlen >= 2 {
 		panic("pipeline: protocol dispatch overflow")
 	}
-	ps.queue = append(ps.queue, &handlerRun{trace: trace})
+	ps.queue[ps.qlen] = handlerRun{trace: trace}
+	ps.qlen++
 	ps.HandlersDispatched++
 }
 

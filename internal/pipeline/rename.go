@@ -71,30 +71,47 @@ func (p *Pipeline) decode(now sim.Cycle) {
 	width := p.cfg.FetchWidth
 	protoTID := p.ProtoTID()
 	protoFirst := p.Cycles%2 == 1
+	// Transferred entries are nil-marked and compacted once at the end, so
+	// a wide transfer costs one pass instead of a memmove per instruction.
+	removed := false
 	for pass := 0; pass < 2 && width > 0; pass++ {
 		wantProto := (pass == 0) == protoFirst
-		i := 0
-		for i < len(p.decodeQ) && width > 0 {
+		for i := 0; i < len(p.decodeQ) && width > 0; i++ {
 			u := p.decodeQ[i]
-			if (u.tid == protoTID) != wantProto {
-				i++
+			if u == nil || (u.tid == protoTID) != wantProto {
 				continue
 			}
 			if u.squashed {
 				p.active = true
-				p.decodeQ = append(p.decodeQ[:i], p.decodeQ[i+1:]...)
+				p.decodeQ[i] = nil
+				removed = true
 				continue
 			}
 			if !p.qSpace(len(p.renameQ), p.cfg.RenameQ, u.tid == protoTID) {
 				break // in-order within the section
 			}
 			p.active = true
-			p.decodeQ = append(p.decodeQ[:i], p.decodeQ[i+1:]...)
+			p.decodeQ[i] = nil
+			removed = true
 			u.stage = sDecoded
 			p.renameQ = append(p.renameQ, u)
 			width--
 		}
 	}
+	if removed {
+		p.decodeQ = compactUops(p.decodeQ)
+	}
+}
+
+// compactUops removes nil-marked entries in place, preserving order.
+func compactUops(q []*uop) []*uop {
+	kept := q[:0]
+	for _, u := range q {
+		if u != nil {
+			kept = append(kept, u)
+		}
+	}
+	return kept
 }
 
 // rename performs register renaming and inserts instructions into the
@@ -107,27 +124,31 @@ func (p *Pipeline) rename(now sim.Cycle) {
 	width := p.cfg.FetchWidth
 	protoTID := p.ProtoTID()
 	protoFirst := p.Cycles%2 == 0
+	removed := false
 	for pass := 0; pass < 2 && width > 0; pass++ {
 		wantProto := (pass == 0) == protoFirst
-		i := 0
-		for i < len(p.renameQ) && width > 0 {
+		for i := 0; i < len(p.renameQ) && width > 0; i++ {
 			u := p.renameQ[i]
-			if (u.tid == protoTID) != wantProto {
-				i++
+			if u == nil || (u.tid == protoTID) != wantProto {
 				continue
 			}
 			if u.squashed {
 				p.active = true
-				p.renameQ = append(p.renameQ[:i], p.renameQ[i+1:]...)
+				p.renameQ[i] = nil
+				removed = true
 				continue
 			}
 			if !p.tryRename(u, now) {
 				break // in-order within the section
 			}
 			p.active = true
-			p.renameQ = append(p.renameQ[:i], p.renameQ[i+1:]...)
+			p.renameQ[i] = nil
+			removed = true
 			width--
 		}
+	}
+	if removed {
+		p.renameQ = compactUops(p.renameQ)
 	}
 }
 
@@ -167,15 +188,17 @@ func (p *Pipeline) tryRename(u *uop, now sim.Cycle) bool {
 	// Claim.
 	if u.in.Src1.Valid() {
 		u.physSrc1 = p.physOf(t, u.in.Src1)
+		u.rdySrc1 = p.readyIndex(u.in.Src1.IsFP(), u.physSrc1)
 	} else {
-		u.physSrc1 = -1
+		u.physSrc1, u.rdySrc1 = -1, -1
 	}
 	if u.in.Src2.Valid() {
 		u.physSrc2 = p.physOf(t, u.in.Src2)
+		u.rdySrc2 = p.readyIndex(u.in.Src2.IsFP(), u.physSrc2)
 	} else {
-		u.physSrc2 = -1
+		u.physSrc2, u.rdySrc2 = -1, -1
 	}
-	u.physDst, u.oldDst = -1, -1
+	u.physDst, u.oldDst, u.rdyDst = -1, -1, -1
 	if u.in.Dst.Valid() {
 		var r int16
 		if u.in.Dst.IsFP() {
@@ -189,7 +212,8 @@ func (p *Pipeline) tryRename(u *uop, now sim.Cycle) bool {
 		u.physDst = r
 		u.oldDst = t.mapTable[u.in.Dst]
 		t.mapTable[u.in.Dst] = r
-		p.setReady(u.in.Dst.IsFP(), r, false)
+		u.rdyDst = p.readyIndex(u.in.Dst.IsFP(), r)
+		p.ready[u.rdyDst] = false
 	}
 	if isBranch {
 		u.brCkpt = p.ckptAlloc(t)
@@ -213,8 +237,8 @@ func (p *Pipeline) tryRename(u *uop, now sim.Cycle) bool {
 		// Nop / SyncWait: nothing to execute; any destination is ready at
 		// once so dependents never wait on it.
 		u.executed = true
-		if u.physDst >= 0 {
-			p.setReady(u.in.Dst.IsFP(), u.physDst, true)
+		if u.rdyDst >= 0 {
+			p.ready[u.rdyDst] = true
 		}
 		if u.in.Op != isa.OpSyncWait {
 			u.stage = sDone
@@ -246,27 +270,26 @@ func (p *Pipeline) physOf(t *thread, r isa.Reg) int16 {
 	return t.mapTable[r]
 }
 
-func (p *Pipeline) setReady(isFP bool, r int16, v bool) {
+// readyIndex folds the FP bank offset into a physical register's index in
+// the flat ready array.
+func (p *Pipeline) readyIndex(isFP bool, r int16) int16 {
 	if isFP {
-		p.ready[int(r)+p.cfg.IntRegs] = v
-		return
+		return r + int16(p.cfg.IntRegs)
 	}
-	p.ready[r] = v
+	return r
+}
+
+func (p *Pipeline) setReady(isFP bool, r int16, v bool) {
+	p.ready[p.readyIndex(isFP, r)] = v
 }
 
 func (p *Pipeline) isReady(isFP bool, r int16) bool {
-	if r < 0 {
-		return true
-	}
-	if isFP {
-		return p.ready[int(r)+p.cfg.IntRegs]
-	}
-	return p.ready[r]
+	return r < 0 || p.ready[p.readyIndex(isFP, r)]
 }
 
 // srcsReady reports whether both source operands are available.
 func (p *Pipeline) srcsReady(u *uop) bool {
-	s1 := u.physSrc1 < 0 || p.isReady(u.in.Src1.IsFP(), u.physSrc1)
-	s2 := u.physSrc2 < 0 || p.isReady(u.in.Src2.IsFP(), u.physSrc2)
+	s1 := u.rdySrc1 < 0 || p.ready[u.rdySrc1]
+	s2 := u.rdySrc2 < 0 || p.ready[u.rdySrc2]
 	return s1 && s2
 }
