@@ -2,12 +2,13 @@
 # formatting, vet, the simlint static-analysis suite, build, the
 # unit/integration suite, the hot packages again with poolcheck message
 # poisoning, the whole suite again under the race detector, the METRICS.md
-# schema freshness, and a one-rep smoke of the benchmark harness
-# (`make bench-json` is the full measurement).
+# schema freshness, a one-rep smoke of the benchmark harness
+# (`make bench-json` is the full measurement), and an end-to-end smoke of
+# the simulation service (`make serve-smoke`).
 
 GO ?= go
 
-.PHONY: all build test vet fmt test-race test-poolcheck lint lint-fix-list metrics-schema metrics-schema-check bench-json bench-smoke check
+.PHONY: all build test vet fmt test-race test-poolcheck lint lint-fix-list metrics-schema metrics-schema-check bench-json bench-smoke serve-smoke check
 
 all: build
 
@@ -61,6 +62,12 @@ bench-json:
 bench-smoke:
 	$(GO) run ./cmd/benchjson -count 1 -bench 'Fig2|AblationBitOps' -out /tmp/bench_smoke.json
 
+# End-to-end smoke of the simulation service: boot simserver on a loopback
+# port, submit the same spec twice, require the second response to be a
+# byte-identical cache hit (the content-address contract of DESIGN.md §12).
+serve-smoke:
+	$(GO) run ./cmd/simserver -selftest
+
 # Regenerate the metric-name table of METRICS.md from the registry.
 metrics-schema:
 	$(GO) run ./cmd/metricsdoc
@@ -69,4 +76,4 @@ metrics-schema:
 metrics-schema-check:
 	$(GO) run ./cmd/metricsdoc -check
 
-check: fmt vet lint build test test-poolcheck test-race metrics-schema-check bench-smoke
+check: fmt vet lint build test test-poolcheck test-race metrics-schema-check bench-smoke serve-smoke

@@ -13,7 +13,6 @@ import (
 
 	"smtpsim/internal/coherence"
 	"smtpsim/internal/core"
-	"smtpsim/internal/pipeline"
 )
 
 // -kernel selects the simulation kernel for every benchmark: the default
@@ -171,7 +170,7 @@ func BenchmarkFig11_8Node2GHz(b *testing.B) { runFigure(b, benchEight, 1, 2) }
 
 // Ablations from §2.1 and §2.3.
 
-func ablationPair(b *testing.B, app core.App, tweak func(*pipeline.Config)) (on, off uint64) {
+func ablationPair(b *testing.B, app core.App, tweak string) (on, off uint64) {
 	base := core.Config{
 		Model: core.SMTp, App: app, Nodes: benchSmall, AppThreads: 1,
 		Scale: 0.25, Seed: 42,
@@ -179,7 +178,7 @@ func ablationPair(b *testing.B, app core.App, tweak func(*pipeline.Config)) (on,
 	w := core.BuildWorkload(base)
 	r1 := core.RunWorkload(base, w)
 	cfg2 := base
-	cfg2.PipeTweak = tweak
+	cfg2.Tweak = tweak
 	r2 := core.RunWorkload(cfg2, w)
 	if !r1.Completed || !r2.Completed {
 		b.Fatal("ablation run incomplete")
@@ -190,7 +189,7 @@ func ablationPair(b *testing.B, app core.App, tweak func(*pipeline.Config)) (on,
 // BenchmarkAblationLAS measures look-ahead scheduling (paper: up to 3.9%).
 func BenchmarkAblationLAS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		with, without := ablationPair(b, core.Ocean, func(pc *pipeline.Config) { pc.LAS = false })
+		with, without := ablationPair(b, core.Ocean, core.TweakNoLAS)
 		if i == b.N-1 {
 			b.ReportMetric(100*(float64(without)-float64(with))/float64(without), "LAS-gain-pct")
 		}
@@ -201,8 +200,7 @@ func BenchmarkAblationLAS(b *testing.B) {
 // of sharing L1/L2 with the protocol thread (paper: 0.9-5.1%).
 func BenchmarkAblationPerfectProtocolCaches(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		shared, perfect := ablationPair(b, core.FFT,
-			func(pc *pipeline.Config) { pc.PerfectProtoCaches = true })
+		shared, perfect := ablationPair(b, core.FFT, core.TweakPerfectProtoCaches)
 		if i == b.N-1 {
 			b.ReportMetric(100*(float64(shared)-float64(perfect))/float64(shared), "perfect-cache-gain-pct")
 		}
@@ -213,8 +211,7 @@ func BenchmarkAblationPerfectProtocolCaches(b *testing.B) {
 // (paper: <=0.3% average slowdown).
 func BenchmarkAblationBitOps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fast, slow := ablationPair(b, core.Radix,
-			func(pc *pipeline.Config) { pc.SlowBitOps = true })
+		fast, slow := ablationPair(b, core.Radix, core.TweakSlowBitOps)
 		if i == b.N-1 {
 			b.ReportMetric(100*(float64(slow)-float64(fast))/float64(fast), "bitop-removal-cost-pct")
 		}

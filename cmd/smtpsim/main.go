@@ -20,7 +20,6 @@ import (
 	"time"
 
 	"smtpsim/internal/core"
-	"smtpsim/internal/pipeline"
 )
 
 // writeMetrics emits the run's deterministic metrics JSON (see METRICS.md
@@ -43,25 +42,6 @@ func writeMetrics(path string, res *core.Result) error {
 	return f.Close()
 }
 
-func parseModel(s string) (core.Model, error) {
-	for _, m := range core.Models() {
-		if strings.EqualFold(m.String(), s) {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown model %q (Base, IntPerfect, Int512KB, Int64KB, SMTp)", s)
-}
-
-func parseApp(s string) (core.App, error) {
-	for _, a := range core.Apps() {
-		if strings.EqualFold(a.String(), s) ||
-			strings.EqualFold(strings.ReplaceAll(a.String(), "-", ""), s) {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown app %q (FFT, FFTW, LU, Ocean, Radix-Sort, Water)", s)
-}
-
 func main() {
 	var (
 		modelF = flag.String("model", "SMTp", "machine model: Base, IntPerfect, Int512KB, Int64KB, SMTp")
@@ -72,6 +52,8 @@ func main() {
 		scale  = flag.Float64("scale", 1, "problem-size multiplier")
 		seed   = flag.Uint64("seed", 42, "workload seed")
 		las    = flag.Bool("las", true, "SMTp look-ahead scheduling")
+		tweakF = flag.String("tweak", "", "named pipeline tweak: "+strings.Join(core.TweakNames(), ", "))
+		protoF = flag.String("protocol", "", "coherence protocol: "+strings.Join(core.ProtocolNames(), ", "))
 
 		metricsF   = flag.String("metrics", "", "write the run's metrics JSON to this file (\"-\" = stdout)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -80,15 +62,23 @@ func main() {
 	)
 	flag.Parse()
 
-	model, err := parseModel(*modelF)
+	model, err := core.ParseModel(*modelF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	app, err := parseApp(*appF)
+	app, err := core.ParseApp(*appF)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	// -las=false is shorthand for the "nolas" ablation tweak.
+	if !*las {
+		if *tweakF != "" && *tweakF != core.TweakNoLAS {
+			fmt.Fprintf(os.Stderr, "-las=false conflicts with -tweak %s\n", *tweakF)
+			os.Exit(2)
+		}
+		*tweakF = core.TweakNoLAS
 	}
 
 	cfg := core.Config{
@@ -99,9 +89,8 @@ func main() {
 		CPUGHz:     *ghz,
 		Scale:      *scale,
 		Seed:       *seed,
-	}
-	if !*las {
-		cfg.PipeTweak = func(pc *pipeline.Config) { pc.LAS = false }
+		Tweak:      *tweakF,
+		Proto:      *protoF,
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

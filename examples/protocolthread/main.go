@@ -8,7 +8,6 @@ import (
 	"fmt"
 
 	"smtpsim/internal/core"
-	"smtpsim/internal/pipeline"
 )
 
 func run(app core.App, las bool) *core.Result {
@@ -17,7 +16,7 @@ func run(app core.App, las bool) *core.Result {
 		Scale: 0.5, Seed: 9,
 	}
 	if !las {
-		cfg.PipeTweak = func(pc *pipeline.Config) { pc.LAS = false }
+		cfg.Tweak = core.TweakNoLAS
 	}
 	return core.Run(cfg)
 }

@@ -53,6 +53,9 @@ const (
 // Apps lists the six applications in paper order.
 func Apps() []App { return workload.Apps() }
 
+// Cycle re-exports the simulated-cycle type.
+type Cycle = sim.Cycle
+
 // Config selects one run.
 type Config struct {
 	Model      Model
@@ -66,10 +69,32 @@ type Config struct {
 
 	// MaxCycles bounds the run (0 = a generous default).
 	MaxCycles sim.Cycle
+
+	// Tweak selects a named pipeline ablation from the registry ("" = the
+	// unmodified core; see TweakNames and RegisterTweak). Being a name
+	// rather than a func keeps the config serializable and hashable.
+	Tweak string
+	// Proto selects a named coherence-protocol variant ("" or "base" = the
+	// paper's protocol, "revive" = the §6 rollback-logging extension; see
+	// ProtocolNames and RegisterProtocol).
+	Proto string
+
 	// PipeTweak adjusts the core configuration (ablations).
+	//
+	// Deprecated: use Tweak with a registered name. A func-valued field
+	// cannot be serialized or hashed, so configs carrying it are rejected
+	// by Canonical/Hash and by the simulation server. When both PipeTweak
+	// and Tweak are set, PipeTweak wins (the explicit func is more specific
+	// than the name); this shim is kept for one release.
+	//simlint:allow apihygiene -- deprecated pre-serialization escape hatch, kept one release
 	PipeTweak func(*pipeline.Config)
 	// Protocol optionally replaces the coherence protocol table on every
-	// node (extensions such as coherence.NewReviveTable).
+	// node.
+	//
+	// Deprecated: use Proto with a registered name. Same shim rules as
+	// PipeTweak: unhashable, and when both Protocol and Proto are set the
+	// explicit table wins; kept for one release.
+	//simlint:allow apihygiene -- deprecated pre-serialization escape hatch, kept one release
 	Protocol *coherence.Table
 
 	// MetricsInterval, when non-zero, additionally records a time series of
@@ -123,6 +148,12 @@ func (c Config) Validate() error {
 	}
 	if c.MetricsDepth < 0 {
 		return fmt.Errorf("config: negative MetricsDepth %d", c.MetricsDepth)
+	}
+	if _, err := lookupTweak(c.Tweak); err != nil {
+		return err
+	}
+	if _, err := lookupProtocol(c.Proto); err != nil {
+		return err
 	}
 	return nil
 }
@@ -278,13 +309,26 @@ func RunWorkloadContext(ctx context.Context, cfg Config, w *workload.Workload) *
 		return &Result{Cfg: cfg, Err: err}
 	}
 	start := time.Now() //simlint:allow determinism -- host-side wall-time observability; never feeds simulated state
+	// Resolve the named selectors; the deprecated func/pointer fields win
+	// when both forms are set (documented precedence of the shim). Names
+	// passed Validate above, so the lookups cannot fail here.
+	tweak := cfg.PipeTweak
+	if tweak == nil {
+		tweak, _ = lookupTweak(cfg.Tweak)
+	}
+	protocol := cfg.Protocol
+	if protocol == nil {
+		if factory, _ := lookupProtocol(cfg.Proto); factory != nil {
+			protocol = factory()
+		}
+	}
 	m := machine.New(machine.Config{
 		Model:          cfg.Model,
 		Nodes:          cfg.Nodes,
 		AppThreads:     cfg.AppThreads,
 		CPUGHz:         cfg.CPUGHz,
-		PipeTweak:      cfg.PipeTweak,
-		Protocol:       cfg.Protocol,
+		PipeTweak:      tweak,
+		Protocol:       protocol,
 		SampleInterval: cfg.MetricsInterval,
 		SampleCapacity: cfg.MetricsDepth,
 

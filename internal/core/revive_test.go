@@ -46,6 +46,30 @@ func TestReviveExtensionEndToEnd(t *testing.T) {
 	}
 }
 
+// TestReviveNamedProtocolMatchesCustomTable: selecting the extension by
+// name ("revive") and wiring a hand-built table through the deprecated
+// Protocol field are the same run, cycle for cycle — the named selector is
+// a pure serialization-layer change.
+func TestReviveNamedProtocolMatchesCustomTable(t *testing.T) {
+	cfg := Config{Model: SMTp, App: Radix, Nodes: 2, AppThreads: 1, Scale: 0.25, Seed: 13}
+	w := BuildWorkload(cfg)
+
+	named := cfg
+	named.Proto = ProtoRevive
+	rn := RunWorkload(named, w)
+	if !rn.Completed || rn.CoherenceErr != nil {
+		t.Fatalf("named revive run failed: %v", rn.CoherenceErr)
+	}
+
+	custom := cfg
+	custom.Protocol = coherence.NewReviveTable(coherence.NewReviveLog())
+	rc := RunWorkload(custom, w)
+	if rc.Cycles != rn.Cycles || rc.RetiredProto != rn.RetiredProto {
+		t.Fatalf("named and custom revive diverge: %d/%d vs %d/%d cycles/retired",
+			rn.Cycles, rn.RetiredProto, rc.Cycles, rc.RetiredProto)
+	}
+}
+
 // TestReviveOnPPModels: the same protocol table runs on the embedded
 // protocol processor models — protocol programmability is not specific to
 // SMTp.

@@ -13,10 +13,18 @@ import (
 //     library, not inside it;
 //   - on exported functions and methods, a context.Context parameter must
 //     come first (callers cancel whole call trees, so the convention has
-//     to hold everywhere), and an error result must come last.
+//     to hold everywhere), and an error result must come last;
+//   - exported config structs on the API surface (the module root package
+//     and the internal packages it imports directly) must stay
+//     serializable: no func-typed fields, no pointers into internal
+//     packages. Configs are content addresses for cached results
+//     (DESIGN.md §12), so a field that cannot round-trip through JSON
+//     silently breaks the cache-key contract. Extension points belong in a
+//     named registry (RegisterTweak/RegisterProtocol style) instead.
 func runAPIHygiene(mod *Module) []Diagnostic {
 	var out []Diagnostic
 	cmdPrefix := mod.Path + "/cmd"
+	api := apiPackages(mod)
 	for _, pkg := range mod.Packages {
 		for _, f := range pkg.Files {
 			if pkg.Internal() {
@@ -35,9 +43,103 @@ func runAPIHygiene(mod *Module) []Diagnostic {
 				}
 				out = append(out, checkSignature(mod, pkg, fn)...)
 			}
+			if api[pkg.Path] {
+				out = append(out, checkConfigFields(mod, pkg, f)...)
+			}
 		}
 	}
 	return out
+}
+
+// apiPackages returns the import paths forming the module's API surface:
+// the root package plus every module-internal package it imports directly
+// (what a facade like the root package re-exports).
+func apiPackages(mod *Module) map[string]bool {
+	api := map[string]bool{mod.Path: true}
+	for _, pkg := range mod.Packages {
+		if pkg.Path != mod.Path {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				if p := importPath(imp); strings.HasPrefix(p, mod.Path+"/internal/") {
+					api[p] = true
+				}
+			}
+		}
+	}
+	return api
+}
+
+// checkConfigFields flags unserializable fields on the exported config
+// structs of one API-surface file: func-typed fields and pointers to
+// module-internal named types. Type aliases are skipped — the defining
+// package is the one responsible (and the one annotated).
+func checkConfigFields(mod *Module, pkg *Package, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || ts.Assign != token.NoPos || !ts.Name.IsExported() || !isConfigName(ts.Name.Name) {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, fld := range st.Fields.List {
+				name := fieldName(fld)
+				if name == "" || !ast.IsExported(name) {
+					continue
+				}
+				typ := pkg.Info.TypeOf(fld.Type)
+				if typ == nil {
+					continue
+				}
+				switch u := typ.Underlying().(type) {
+				case *types.Signature:
+					out = append(out, mod.diag(fld.Pos(), "apihygiene",
+						"config field %s.%s is func-typed and cannot be serialized or hashed; use a named registry selector",
+						ts.Name.Name, name))
+				case *types.Pointer:
+					if n, ok := u.Elem().(*types.Named); ok && isModuleInternal(mod, n) {
+						out = append(out, mod.diag(fld.Pos(), "apihygiene",
+							"config field %s.%s points into %s and cannot be serialized or hashed; use a named registry selector",
+							ts.Name.Name, name, n.Obj().Pkg().Path()))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isConfigName reports whether an exported type name marks a config struct
+// by convention.
+func isConfigName(name string) bool {
+	return strings.HasSuffix(name, "Config") || strings.HasSuffix(name, "Spec") ||
+		strings.HasSuffix(name, "Options")
+}
+
+// fieldName returns the first declared name of a struct field ("" for an
+// embedded field).
+func fieldName(f *ast.Field) string {
+	if len(f.Names) > 0 {
+		return f.Names[0].Name
+	}
+	return ""
+}
+
+// isModuleInternal reports whether a named type is defined in one of this
+// module's internal packages.
+func isModuleInternal(mod *Module, n *types.Named) bool {
+	p := n.Obj().Pkg()
+	return p != nil && (strings.HasPrefix(p.Path(), mod.Path+"/internal/") ||
+		p.Path() == mod.Path+"/internal")
 }
 
 // checkSignature enforces ctx-first / error-last on one exported function.

@@ -11,7 +11,10 @@
 //     follow the dotted lowercase schema grammar of METRICS.md and must
 //     not collide within a scope;
 //   - apihygiene: internal/* must not import cmd/*, context.Context comes
-//     first and error comes last in exported signatures;
+//     first and error comes last in exported signatures, and exported
+//     config structs on the API surface carry no func-typed or
+//     pointer-to-internal fields (they must stay serializable — configs
+//     are the content addresses of cached results);
 //   - hotalloc: the per-message hot packages (network, memctrl, coherence,
 //     ppengine) must not heap-allocate network messages with &Message{}
 //     literals or key tracking state on map[uint64] struct fields.
@@ -75,7 +78,7 @@ func Analyzers() []*Analyzer {
 		},
 		{
 			Name: "apihygiene",
-			Doc:  "internal/* does not import cmd/*; ctx first, error last in exported signatures",
+			Doc:  "internal/* does not import cmd/*; ctx first, error last; API config structs stay serializable",
 			Run:  runAPIHygiene,
 		},
 		{

@@ -1,0 +1,26 @@
+// Package fixture is the module root — the facade of this fixture module.
+// Root and the internal packages it imports directly form the API surface
+// on which the config-field hygiene rules apply.
+package fixture
+
+import "fixture/internal/apicfg"
+
+// RootConfig sits on the API surface; its callback field breaks
+// serialization.
+type RootConfig struct {
+	Name string
+	Hook func() error // want apihygiene
+}
+
+// AllowedConfig demonstrates the escape hatch for a deliberate exception.
+type AllowedConfig struct {
+	//simlint:allow apihygiene -- fixture: deliberate escape-hatch demonstration
+	Hook func()
+}
+
+// Config is an alias re-export: the defining package owns (and already
+// reports) its fields, so the alias itself is not a finding.
+type Config = apicfg.Config
+
+// Use keeps the apicfg import live.
+func Use(c Config) int { return c.N }

@@ -1,0 +1,31 @@
+// Package apicfg is imported directly by the module root, which makes it
+// part of the API surface: its exported config structs must stay
+// serializable.
+package apicfg
+
+import "fixture/internal/ptab"
+
+// Config seeds the two unserializable field shapes.
+type Config struct {
+	N      int
+	Names  []string      // serializable: fine
+	Level  *int          // pointer to a basic type: fine
+	Tweak  func(int) int // want apihygiene
+	Table  *ptab.Table   // want apihygiene
+	hidden func()        // unexported: not part of the API contract
+}
+
+// RunSpec matches the Spec naming convention.
+type RunSpec struct {
+	Run func() // want apihygiene
+}
+
+// runner is unexported: out of scope entirely.
+type runner struct{ fn func() }
+
+var _ = runner{fn: nil}
+
+// keep the unexported field referenced so the fixture compiles vet-clean.
+func (c *Config) touch() { _ = c.hidden }
+
+var _ = (*Config).touch

@@ -1,0 +1,9 @@
+// Package offapi is NOT imported by the module root, so it is outside the
+// API surface: its config structs are implementation detail and func
+// fields here are not findings.
+package offapi
+
+// Config would be flagged on the API surface; here it is fine.
+type Config struct {
+	Hook func()
+}

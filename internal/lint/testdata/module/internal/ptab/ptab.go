@@ -1,0 +1,8 @@
+// Package ptab is a module-internal implementation type that config
+// structs must not point into.
+package ptab
+
+// Table is some internal machinery.
+type Table struct {
+	Rows []int
+}

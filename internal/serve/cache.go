@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cached is everything the server retains about one finished run: the
+// byte-exact result document, the pre-rendered NDJSON series events (so a
+// cache-hit stream replays the exact frames a live run produced), and the
+// two summary fields the stream's final event reports.
+type cached struct {
+	Body      []byte
+	Events    []byte // newline-separated NDJSON frames; empty when no series
+	Cycles    uint64
+	Completed bool
+}
+
+func (c *cached) size() int64 { return int64(len(c.Body) + len(c.Events)) }
+
+// resultCache is the content-addressed result store: canonical config hash
+// -> the byte-exact result of that run. Because runs are pure functions of
+// their config (the determinism gates pin this), an entry never goes stale
+// — eviction exists only to bound memory, LRU by bytes. A hit therefore
+// serves the exact bytes a fresh simulation would produce, which is what
+// turns cache hit rate into service throughput.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	val *cached
+}
+
+// newResultCache builds a store bounded to maxBytes of result bodies.
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the stored entry for a key, marking it most recently used.
+// The returned value is shared — callers only ever write it to responses.
+func (c *resultCache) Get(key string) (*cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores an entry under its key, evicting least-recently-used entries
+// until the store fits its byte bound. An entry larger than the whole bound
+// is not cached (it would evict everything for one entry that can never be
+// joined by another); re-putting an existing key is a no-op — deterministic
+// runs make any second value byte-identical to the first.
+func (c *resultCache) Put(key string, val *cached) {
+	n := val.size()
+	if n > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byKey[key]; dup {
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.bytes += n
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.byKey, ent.key)
+		c.bytes -= ent.val.size()
+		c.evictions++
+	}
+}
+
+// Stats returns the counters and current footprint in one consistent read.
+func (c *resultCache) Stats() (hits, misses, evictions uint64, entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.ll.Len(), c.bytes
+}

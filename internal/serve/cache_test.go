@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func entry(n int) *cached {
+	return &cached{Body: bytes.Repeat([]byte{'x'}, n)}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := newResultCache(1 << 20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", entry(10))
+	if v, ok := c.Get("a"); !ok || len(v.Body) != 10 {
+		t.Fatal("stored entry not returned")
+	}
+	hits, misses, evictions, entries, bytes := c.Stats()
+	if hits != 1 || misses != 1 || evictions != 0 || entries != 1 || bytes != 10 {
+		t.Fatalf("stats = %d/%d/%d/%d/%d, want 1/1/0/1/10",
+			hits, misses, evictions, entries, bytes)
+	}
+}
+
+func TestCacheEvictsLRUByBytes(t *testing.T) {
+	c := newResultCache(30)
+	c.Put("a", entry(10))
+	c.Put("b", entry(10))
+	c.Put("c", entry(10))
+	c.Get("a") // touch: "b" is now least recently used
+	c.Put("d", entry(10))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("least recently used entry survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %q evicted out of LRU order", k)
+		}
+	}
+	_, _, evictions, entries, bytes := c.Stats()
+	if evictions != 1 || entries != 3 || bytes != 30 {
+		t.Fatalf("evictions=%d entries=%d bytes=%d, want 1/3/30", evictions, entries, bytes)
+	}
+}
+
+func TestCacheEvictsSeveralForOneLargeEntry(t *testing.T) {
+	c := newResultCache(30)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), entry(10))
+	}
+	c.Put("big", entry(25))
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("large entry not cached")
+	}
+	_, _, evictions, entries, bytes := c.Stats()
+	if evictions != 3 || entries != 1 || bytes != 25 {
+		t.Fatalf("evictions=%d entries=%d bytes=%d, want 3/1/25", evictions, entries, bytes)
+	}
+}
+
+func TestCacheSkipsOversizedEntry(t *testing.T) {
+	c := newResultCache(30)
+	c.Put("a", entry(10))
+	c.Put("huge", entry(31))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("entry larger than the cache bound was stored")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("oversized put evicted existing entries")
+	}
+}
+
+func TestCacheDuplicatePutIsNoop(t *testing.T) {
+	c := newResultCache(100)
+	c.Put("a", entry(10))
+	c.Put("a", entry(20)) // deterministic runs: second body is the same run
+	v, ok := c.Get("a")
+	if !ok || len(v.Body) != 10 {
+		t.Fatal("duplicate put replaced the original entry")
+	}
+	_, _, _, entries, bytes := c.Stats()
+	if entries != 1 || bytes != 10 {
+		t.Fatalf("entries=%d bytes=%d after duplicate put, want 1/10", entries, bytes)
+	}
+}
+
+func TestCacheEventsCountTowardBytes(t *testing.T) {
+	c := newResultCache(30)
+	c.Put("a", &cached{Body: make([]byte, 10), Events: make([]byte, 15)})
+	_, _, _, _, bytes := c.Stats()
+	if bytes != 25 {
+		t.Fatalf("bytes=%d, want body+events=25", bytes)
+	}
+	c.Put("b", entry(10)) // 25+10 > 30: must evict "a"
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry with events not evicted despite byte budget")
+	}
+}

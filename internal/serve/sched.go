@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// The scheduler is the server's admission-control layer in front of the
+// core.Runner execution pool: a bounded queue of pending runs drained by a
+// fixed set of workers. Admission is fail-fast — when the queue is full the
+// submission is rejected immediately (the HTTP layer turns that into 503 +
+// Retry-After) instead of building an unbounded backlog. Draining flips a
+// flag that rejects new work, then waits for the queue and the in-flight
+// runs to finish; if the drain deadline expires, the base context is
+// cancelled and core.RunContext aborts the in-flight simulations at their
+// next context poll.
+
+// Submission errors, mapped to HTTP statuses by the handler.
+var (
+	errBusy     = errors.New("serve: run queue is full")
+	errDraining = errors.New("serve: server is draining")
+)
+
+// task is one admitted run request moving through the scheduler. started
+// and done are closed (never sent on) so any number of waiters — the
+// submitting handler, deduplicated followers, streamers — can observe the
+// transitions. res/body/err are written before done closes and read only
+// after it, which is the usual happens-before via channel close.
+type task struct {
+	cfg     Config
+	key     string // canonical config hash, hex
+	started chan struct{}
+	done    chan struct{}
+
+	res  *Result
+	body []byte // rendered result document; nil when err != nil
+	err  error
+}
+
+// newTask builds an un-submitted task for a validated config.
+func newTask(cfg Config, key string) *task {
+	return &task{
+		cfg:     cfg,
+		key:     key,
+		started: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// scheduler owns the queue, the worker pool and the drain protocol.
+type scheduler struct {
+	queue chan *task
+	run   func(ctx context.Context, t *task) // executes + completes one task
+
+	ctx    context.Context // cancelled to hard-abort in-flight runs
+	cancel context.CancelFunc
+
+	wg sync.WaitGroup // workers
+
+	mu          sync.Mutex
+	outstanding int // admitted but not yet completed tasks
+	draining    bool
+	drained     chan struct{} // closed when draining and outstanding == 0
+}
+
+// newScheduler starts workers goroutines draining a depth-bounded queue;
+// run is called once per task and must complete it (close t.done).
+func newScheduler(workers, depth int, run func(context.Context, *task)) *scheduler {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &scheduler{
+		queue:   make(chan *task, depth),
+		run:     run,
+		ctx:     ctx,
+		cancel:  cancel,
+		drained: make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		//simlint:allow determinism -- server worker pool fans out whole simulations; each run is single-goroutine and results are content-addressed
+		go s.worker()
+	}
+	return s
+}
+
+// submit admits a task or fails fast with errBusy/errDraining.
+func (s *scheduler) submit(t *task) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.queue <- t:
+		s.outstanding++
+		return nil
+	default:
+		return errBusy
+	}
+}
+
+// queued returns the number of admitted-but-unfinished tasks.
+func (s *scheduler) queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.outstanding
+}
+
+// isDraining reports whether new submissions are being rejected.
+func (s *scheduler) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// worker executes queued tasks until the queue is closed by Drain.
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		close(t.started)
+		s.run(s.ctx, t)
+		s.taskDone()
+	}
+}
+
+// taskDone retires one task and completes the drain when it was the last.
+func (s *scheduler) taskDone() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.outstanding--
+	if s.draining && s.outstanding == 0 {
+		close(s.drained)
+	}
+}
+
+// Drain stops admission and waits for every admitted run to finish. When
+// ctx expires first, the in-flight simulations are aborted through their
+// run context (they return partial results with Err set within ~1M
+// simulated cycles) and Drain still waits for the workers to retire them.
+// Drain is idempotent only in its first call; the server calls it once.
+func (s *scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.outstanding == 0 {
+		close(s.drained)
+	}
+	s.mu.Unlock()
+
+	var err error
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel() // abort in-flight runs; they complete promptly
+		<-s.drained
+	}
+	// No submitters remain (draining rejects them), so closing the queue
+	// is safe and lets the workers exit.
+	close(s.queue)
+	s.wg.Wait()
+	s.cancel()
+	return err
+}

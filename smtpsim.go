@@ -94,6 +94,40 @@ const (
 	Water = core.Water
 )
 
+// Named extension points: Config.Tweak and Config.Proto select registered
+// pipeline tweaks and coherence protocols by name, which keeps every config
+// serializable — json.Marshal/Unmarshal round-trip the canonical encoding,
+// and Config.Hash is the content address the simulation service caches
+// results under (DESIGN.md §12).
+const (
+	// ProtoBase is the stock directory protocol (the default).
+	ProtoBase = core.ProtoBase
+	// ProtoRevive is the ReVive-style logging protocol of the §6 study.
+	ProtoRevive = core.ProtoRevive
+
+	// TweakNoLAS disables SMTp look-ahead scheduling (§2.3 ablation).
+	TweakNoLAS = core.TweakNoLAS
+	// TweakPerfectProtoCaches gives the protocol thread private perfect
+	// caches (§2.1 cache-pollution ablation).
+	TweakPerfectProtoCaches = core.TweakPerfectProtoCaches
+	// TweakSlowBitOps removes the special bit-manipulation ALU ops.
+	TweakSlowBitOps = core.TweakSlowBitOps
+)
+
+// TweakNames lists every registered pipeline tweak, sorted. (Registering
+// new tweaks and protocols happens inside internal/core — they manipulate
+// internal pipeline and coherence state — but selection by name is public.)
+func TweakNames() []string { return core.TweakNames() }
+
+// ProtocolNames lists every registered coherence protocol, sorted.
+func ProtocolNames() []string { return core.ProtocolNames() }
+
+// ParseModel resolves a machine-model name case-insensitively.
+func ParseModel(s string) (Model, error) { return core.ParseModel(s) }
+
+// ParseApp resolves an application name case-insensitively.
+func ParseApp(s string) (App, error) { return core.ParseApp(s) }
+
 // Models lists the five machine models in paper order.
 func Models() []Model { return core.Models() }
 
