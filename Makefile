@@ -3,12 +3,13 @@
 # unit/integration suite, the hot packages again with poolcheck message
 # poisoning, the whole suite again under the race detector, the METRICS.md
 # schema freshness, a one-rep smoke of the benchmark harness
-# (`make bench-json` is the full measurement), and an end-to-end smoke of
-# the simulation service (`make serve-smoke`).
+# (`make bench-json` is the full measurement), an end-to-end smoke of
+# the simulation service (`make serve-smoke`), and a sharded-execution
+# smoke (`make shard-smoke`).
 
 GO ?= go
 
-.PHONY: all build test vet fmt test-race test-poolcheck lint lint-fix-list metrics-schema metrics-schema-check bench-json bench-smoke serve-smoke check
+.PHONY: all build test vet fmt test-race test-poolcheck lint lint-fix-list metrics-schema metrics-schema-check bench-json bench-smoke serve-smoke shard-smoke check
 
 all: build
 
@@ -51,16 +52,23 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Hot-data-path speedup record: the full root benchmark suite (3 reps, min
-# kept, alloc rates included) against the PR 4 baseline in BENCH_4.json,
-# written to BENCH_5.json.
+# Benchmark record: the full root benchmark suite (3 reps, min kept, alloc
+# rates included, the BenchmarkShard* per-shard-count points) against the
+# PR 5 baseline in BENCH_5.json, written to BENCH_7.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -count 3 -out BENCH_5.json
+	$(GO) run ./cmd/benchjson -count 3 -baseline BENCH_5.json -out BENCH_7.json
 
 # Quick end-to-end sanity of the bench harness for `make check`: two small
 # benchmarks, one rep per kernel, result discarded.
 bench-smoke:
 	$(GO) run ./cmd/benchjson -count 1 -bench 'Fig2|AblationBitOps' -out /tmp/bench_smoke.json
+
+# End-to-end smoke of sharded execution (DESIGN.md §13): one 16-node
+# config split across 4 OS threads must run to completion through the
+# real CLI. Byte-identity with -shards 1 is pinned by the test suite
+# (TestShardDifferential); this gate proves the flag works end to end.
+shard-smoke:
+	$(GO) run ./cmd/smtpsim -model SMTp -app fft -nodes 16 -way 2 -scale 0.25 -shards 4 >/dev/null
 
 # End-to-end smoke of the simulation service: boot simserver on a loopback
 # port, submit the same spec twice, require the second response to be a
@@ -76,4 +84,4 @@ metrics-schema:
 metrics-schema-check:
 	$(GO) run ./cmd/metricsdoc -check
 
-check: fmt vet lint build test test-poolcheck test-race metrics-schema-check bench-smoke serve-smoke
+check: fmt vet lint build test test-poolcheck test-race metrics-schema-check bench-smoke serve-smoke shard-smoke

@@ -168,6 +168,42 @@ func BenchmarkTable9_ResourceOccupancy(b *testing.B) {
 func BenchmarkFig10_8Node4GHz(b *testing.B) { runFigure(b, benchEight, 1, 4) }
 func BenchmarkFig11_8Node2GHz(b *testing.B) { runFigure(b, benchEight, 1, 2) }
 
+// Sharded execution (DESIGN.md §13) — the paper-size sweep points at
+// several -shards values. The simulated result is byte-identical at every
+// shard count (internal/core's TestShardDifferential pins that), so these
+// benchmarks measure pure host wall time: the speedup from running one
+// machine's shards on separate cores, or the coordinator's overhead when
+// the host has fewer cores than shards. EXPERIMENTS.md records measured
+// numbers and how to choose -shards.
+
+func benchShardPoint(b *testing.B, nodes, shards int) {
+	cfg := core.Config{
+		Model: core.SMTp, App: core.FFT, Nodes: nodes, AppThreads: 2,
+		Scale: 0.25, Seed: 42, Shards: shards,
+	}
+	w := core.BuildWorkload(cfg)
+	for i := 0; i < b.N; i++ {
+		r := core.RunWorkload(cfg, w)
+		if !r.Completed {
+			b.Fatal("sharded run did not complete")
+		}
+		if r.CoherenceErr != nil {
+			b.Fatalf("sharded run: %v", r.CoherenceErr)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(r.Cycles), "sim-cycles")
+		}
+	}
+}
+
+func BenchmarkShard16Node_Shards1(b *testing.B) { benchShardPoint(b, 16, 1) }
+func BenchmarkShard16Node_Shards2(b *testing.B) { benchShardPoint(b, 16, 2) }
+func BenchmarkShard16Node_Shards4(b *testing.B) { benchShardPoint(b, 16, 4) }
+
+func BenchmarkShard32Node_Shards1(b *testing.B) { benchShardPoint(b, 32, 1) }
+func BenchmarkShard32Node_Shards2(b *testing.B) { benchShardPoint(b, 32, 2) }
+func BenchmarkShard32Node_Shards4(b *testing.B) { benchShardPoint(b, 32, 4) }
+
 // Ablations from §2.1 and §2.3.
 
 func ablationPair(b *testing.B, app core.App, tweak string) (on, off uint64) {

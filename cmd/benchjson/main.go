@@ -1,16 +1,19 @@
 // Command benchjson measures the repository's root benchmark suite and
-// records the result as BENCH_5.json: wall time and allocation rate per
-// benchmark, plus the speedup over the PR 4 baseline recorded in
-// BENCH_4.json (its skipping-kernel wall times — the same kernel this tree
-// runs by default, so the ratio isolates the hot-data-path work: pooled
-// messages, flat slab memory, dense tracking tables, recycled traces and
-// effects).
+// records the result as BENCH_7.json: wall time and allocation rate per
+// benchmark, plus the speedup over the baseline recorded in BENCH_5.json.
+// The suite now includes the BenchmarkShard* points — the paper-size
+// 16/32-node sweep point at -shards 1/2/4 — so the record captures how
+// intra-run sharding (DESIGN.md §13) behaves on the measuring host; those
+// have no PR 5 baseline and appear without a comparison.
+//
+// The -baseline loader accepts both record layouts: ns_op (PR 5 and later)
+// and skipping_ns_op (the PR 4 kernel-vs-kernel record).
 //
 // Each benchmark runs -count times under -benchmem and the rep with the
 // minimum ns/op is kept: the minimum is the least-interference estimate on
 // a shared host.
 //
-//	go run ./cmd/benchjson                  # full suite, 3 reps, BENCH_5.json
+//	go run ./cmd/benchjson                  # full suite, 3 reps, BENCH_7.json
 //	go run ./cmd/benchjson -count 1 -bench Fig2 -out /tmp/smoke.json
 package main
 
@@ -33,7 +36,7 @@ type benchResult struct {
 	NsOp       float64 `json:"ns_op"`
 	BytesOp    uint64  `json:"b_op"`
 	AllocsOp   uint64  `json:"allocs_op"`
-	BaselineNs float64 `json:"baseline_ns_op,omitempty"` // PR 4 skipping-kernel time
+	BaselineNs float64 `json:"baseline_ns_op,omitempty"` // prior record's wall time
 	Speedup    float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
@@ -49,10 +52,12 @@ type report struct {
 	GeomeanSpeedup float64       `json:"geomean_speedup_vs_baseline"`
 }
 
-// baselineReport matches the BENCH_4.json layout (kernel-vs-kernel record).
+// baselineReport accepts both baseline layouts: the PR 5+ records carry
+// ns_op, the PR 4 kernel-vs-kernel record carries skipping_ns_op.
 type baselineReport struct {
 	Benchmarks []struct {
 		Name       string  `json:"name"`
+		NsOp       float64 `json:"ns_op"`
 		SkippingNs float64 `json:"skipping_ns_op"`
 	} `json:"benchmarks"`
 }
@@ -99,9 +104,9 @@ func runSuite(pattern string, count int) (map[string]measurement, error) {
 	return best, nil
 }
 
-// loadBaseline reads the per-bench skipping-kernel wall times from a PR 4
-// style record. A missing file is not an error (fresh checkouts, smoke
-// runs outside the repo root): comparisons are simply omitted.
+// loadBaseline reads the per-bench wall times from a prior record. A
+// missing file is not an error (fresh checkouts, smoke runs outside the
+// repo root): comparisons are simply omitted.
 func loadBaseline(path string) (map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -116,7 +121,11 @@ func loadBaseline(path string) (map[string]float64, error) {
 	}
 	times := make(map[string]float64, len(br.Benchmarks))
 	for _, b := range br.Benchmarks {
-		times[b.Name] = b.SkippingNs
+		if b.NsOp > 0 {
+			times[b.Name] = b.NsOp
+		} else {
+			times[b.Name] = b.SkippingNs
+		}
 	}
 	return times, nil
 }
@@ -124,8 +133,8 @@ func loadBaseline(path string) (map[string]float64, error) {
 func main() {
 	count := flag.Int("count", 3, "repetitions; the minimum ns/op is kept")
 	pattern := flag.String("bench", ".", "benchmark regexp forwarded to go test -bench")
-	baseline := flag.String("baseline", "BENCH_4.json", "PR 4 record to compare against (missing file: no comparison)")
-	out := flag.String("out", "BENCH_5.json", "output path")
+	baseline := flag.String("baseline", "BENCH_5.json", "prior record to compare against (missing file: no comparison)")
+	out := flag.String("out", "BENCH_7.json", "output path")
 	flag.Parse()
 
 	base, err := loadBaseline(*baseline)
@@ -189,7 +198,7 @@ func main() {
 	}
 	for _, b := range r.Benchmarks {
 		if b.BaselineNs > 0 {
-			fmt.Printf("%-45s %11.0f ns/op %9d allocs/op  %5.2fx vs PR4\n",
+			fmt.Printf("%-45s %11.0f ns/op %9d allocs/op  %5.2fx vs baseline\n",
 				b.Name, b.NsOp, b.AllocsOp, b.Speedup)
 		} else {
 			fmt.Printf("%-45s %11.0f ns/op %9d allocs/op\n", b.Name, b.NsOp, b.AllocsOp)

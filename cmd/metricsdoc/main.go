@@ -1,9 +1,11 @@
 // Command metricsdoc regenerates the metric-name table of METRICS.md from
 // the metrics registry itself, so the documented schema can never drift
 // from the code. It builds one SMTp and one Base machine (between them
-// every subsystem registers), flattens their registries, normalizes the
-// per-node and per-context indices (node3 -> node<i>, ctx1 -> ctx<t>), and
-// rewrites the block between the BEGIN/END GENERATED markers.
+// every subsystem registers) plus one sharded machine (for the shard.*
+// execution telemetry), flattens their registries, normalizes the
+// per-instance indices (node3 -> node<i>, ctx1 -> ctx<t>, shard1 ->
+// shard<s>), and rewrites the block between the BEGIN/END GENERATED
+// markers.
 //
 // The default mode rewrites METRICS.md in place; -check verifies the file
 // is current and exits 1 if it is stale (wired into `make metrics-schema`
@@ -29,13 +31,15 @@ const (
 )
 
 var (
-	nodeRE = regexp.MustCompile(`^node[0-9]+\.`)
-	ctxRE  = regexp.MustCompile(`\.ctx[0-9]+\.`)
+	nodeRE  = regexp.MustCompile(`^node[0-9]+\.`)
+	ctxRE   = regexp.MustCompile(`\.ctx[0-9]+\.`)
+	shardRE = regexp.MustCompile(`^shard[0-9]+\.`)
 )
 
 // normalize folds per-instance indices into the schema's placeholders.
 func normalize(name string) string {
 	name = nodeRE.ReplaceAllString(name, "node<i>.")
+	name = shardRE.ReplaceAllString(name, "shard<s>.")
 	return ctxRE.ReplaceAllString(name, ".ctx<t>.")
 }
 
@@ -60,6 +64,13 @@ func collect() []row {
 		for _, s := range m.Reg.Snapshot().Samples {
 			seen[normalize(s.Name)] = s.Kind
 		}
+	}
+	// A sharded machine carries the shard.* execution telemetry in its
+	// separate ShardReg (never part of the run snapshot — the values
+	// depend on the -shards execution knob, not the config identity).
+	sharded := machine.New(machine.Config{Model: machine.SMTp, Nodes: 2, AppThreads: 1, CPUGHz: 2, Shards: 2})
+	for _, s := range sharded.ShardReg.Snapshot().Samples {
+		seen[normalize(s.Name)] = s.Kind
 	}
 	names := make([]string, 0, len(seen))
 	for n := range seen {
@@ -103,6 +114,8 @@ func unitOf(name string) string {
 // subsystemOf maps a metric name to the package that registers it.
 func subsystemOf(name string) string {
 	switch {
+	case strings.HasPrefix(name, "shard.") || strings.HasPrefix(name, "shard<s>."):
+		return "machine"
 	case strings.HasPrefix(name, "net."):
 		return "network"
 	case strings.HasPrefix(name, "node<i>.mc."):
@@ -160,7 +173,7 @@ func paperOf(name string) string {
 func render(rows []row) string {
 	var b strings.Builder
 	b.WriteString(beginMarker + "\n")
-	fmt.Fprintf(&b, "\n%d metric names. `node<i>` ranges over the machine's nodes; `ctx<t>`\nover the application hardware contexts of a pipeline.\n\n", len(rows))
+	fmt.Fprintf(&b, "\n%d metric names. `node<i>` ranges over the machine's nodes; `ctx<t>`\nover the application hardware contexts of a pipeline; `shard<s>` over\nthe shards of a sharded run (`shard.*` names live in the separate\n`Machine.ShardReg` registry, not the run snapshot).\n\n", len(rows))
 	b.WriteString("| Name | Kind | Unit | Subsystem | Paper |\n")
 	b.WriteString("|------|------|------|-----------|-------|\n")
 	for _, r := range rows {

@@ -40,6 +40,7 @@ func main() {
 		full       = flag.Bool("full", false, "run at the paper's machine sizes (16/32/8 nodes)")
 		only       = flag.String("only", "", "run a single experiment: t5,t6,t7,t8,t9,f2..f11")
 		workers    = flag.Int("workers", 0, "concurrent simulations per experiment (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "OS threads per simulated machine (results are byte-identical at any value)")
 		quiet      = flag.Bool("quiet", false, "suppress the stderr progress line")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -101,7 +102,7 @@ func main() {
 	suite := func(name string, ghz float64) core.Suite {
 		return core.Suite{
 			CPUGHz: ghz, Scale: *scale, Seed: *seed,
-			Workers: *workers, Ctx: ctx, Progress: progress(name),
+			Workers: *workers, Shards: *shards, Ctx: ctx, Progress: progress(name),
 		}
 	}
 

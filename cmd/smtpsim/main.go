@@ -54,6 +54,7 @@ func main() {
 		las    = flag.Bool("las", true, "SMTp look-ahead scheduling")
 		tweakF = flag.String("tweak", "", "named pipeline tweak: "+strings.Join(core.TweakNames(), ", "))
 		protoF = flag.String("protocol", "", "coherence protocol: "+strings.Join(core.ProtocolNames(), ", "))
+		shards = flag.Int("shards", 1, "partition the simulated machine across this many OS threads (results are byte-identical at any value)")
 
 		metricsF   = flag.String("metrics", "", "write the run's metrics JSON to this file (\"-\" = stdout)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -91,6 +92,7 @@ func main() {
 		Seed:       *seed,
 		Tweak:      *tweakF,
 		Proto:      *protoF,
+		Shards:     *shards,
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -133,6 +133,12 @@ type configJSON struct {
 	MetricsInterval *uint64  `json:"metrics_interval"`
 	MetricsDepth    *int     `json:"metrics_depth"`
 	ReferenceKernel *bool    `json:"reference_kernel"`
+
+	// Shards is accepted on input as a convenience (an experiment spec may
+	// pin its execution parallelism) but is deliberately absent from the
+	// canonical form: it cannot change a single result byte, so two specs
+	// differing only in shards must hash — and cache — identically.
+	Shards *int `json:"shards"`
 }
 
 // UnmarshalJSON decodes an experiment spec. Unknown fields are rejected
@@ -197,6 +203,9 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 	}
 	if in.ReferenceKernel != nil {
 		out.ReferenceKernel = *in.ReferenceKernel
+	}
+	if in.Shards != nil {
+		out.Shards = *in.Shards
 	}
 	*c = out
 	return nil

@@ -111,6 +111,15 @@ type Config struct {
 	// (pinned by TestKernelDifferential); this exists as the differential
 	// oracle and for before/after wall-time comparisons.
 	ReferenceKernel bool
+
+	// Shards partitions the simulated machine's nodes across that many OS
+	// threads with conservative time-quantum synchronization (DESIGN.md
+	// §13). Purely an execution knob: results are byte-identical at every
+	// shard count, so Shards is excluded from the config's canonical form
+	// and hash. 0 or 1 runs serially; the machine clamps other values to
+	// the largest divisor of Nodes and forces 1 when the reference kernel
+	// or metric sampling needs the single global engine.
+	Shards int
 }
 
 // Validate reports whether the configuration describes a machine the
@@ -148,6 +157,9 @@ func (c Config) Validate() error {
 	}
 	if c.MetricsDepth < 0 {
 		return fmt.Errorf("config: negative MetricsDepth %d", c.MetricsDepth)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("config: negative Shards %d", c.Shards)
 	}
 	if _, err := lookupTweak(c.Tweak); err != nil {
 		return err
@@ -329,6 +341,7 @@ func RunWorkloadContext(ctx context.Context, cfg Config, w *workload.Workload) *
 		CPUGHz:         cfg.CPUGHz,
 		PipeTweak:      tweak,
 		Protocol:       protocol,
+		Shards:         cfg.Shards,
 		SampleInterval: cfg.MetricsInterval,
 		SampleCapacity: cfg.MetricsDepth,
 
@@ -337,7 +350,7 @@ func RunWorkloadContext(ctx context.Context, cfg Config, w *workload.Workload) *
 	workload.Attach(m, w)
 	cycles, done := m.RunContext(ctx, cfg.MaxCycles)
 	r := harvest(cfg, m, cycles, done)
-	r.SkippedCycles = m.Eng.SkippedCycles()
+	r.SkippedCycles = m.SkippedCycles()
 	if !done && ctx.Err() != nil {
 		r.Err = ctx.Err()
 	}

@@ -26,6 +26,11 @@ type Suite struct {
 	// (see Config.ReferenceKernel); output is identical, only slower.
 	ReferenceKernel bool
 
+	// Shards partitions each simulated machine across that many OS threads
+	// (see Config.Shards); output is byte-identical at any value. Combine
+	// with Workers thoughtfully: total goroutines ≈ Workers × Shards.
+	Shards int
+
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
 	Workers int
 	// Progress, when set, observes every finished run of every driver.
@@ -47,6 +52,7 @@ func (s Suite) cfg(model Model, app App, nodes, way int) Config {
 		Scale:      s.Scale,
 		Seed:       s.Seed,
 		MaxCycles:  sim.Cycle(s.MaxCycles),
+		Shards:     s.Shards,
 
 		ReferenceKernel: s.ReferenceKernel,
 	}

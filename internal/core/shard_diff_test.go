@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestShardDifferential pins the tentpole invariant of intra-run sharding
+// (DESIGN.md §13): partitioning the machine across shard engines is
+// observably invisible. Every configuration runs at shard counts 1, 2 and 4
+// and must produce the same cycle count and byte-identical WriteRunJSON
+// output — every counter, peak and histogram of the full metrics snapshot.
+func TestShardDifferential(t *testing.T) {
+	type cse struct {
+		app   App
+		model Model
+		nodes int
+		way   int
+		scale float64
+	}
+	cases := []cse{
+		{FFT, SMTp, 8, 1, 0.25},
+		{Radix, Base, 8, 2, 0.25},
+		{Ocean, SMTp, 16, 1, 0.25},
+		{LU, Int512KB, 16, 2, 0.25},
+		{FFT, SMTp, 32, 2, 0.25},
+		{Water, SMTp, 32, 1, 0.125},
+	}
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	for _, c := range cases {
+		c := c
+		name := fmt.Sprintf("%s_%s_%dn%dw", c.app, c.model, c.nodes, c.way)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				Model: c.model, App: c.app,
+				Nodes: c.nodes, AppThreads: c.way,
+				Scale: c.scale, Seed: 42,
+			}
+			run := func(shards int) (*Result, []byte) {
+				cfg := cfg
+				cfg.Shards = shards
+				r := Run(cfg)
+				if r.Err != nil || !r.Completed {
+					t.Fatalf("shards=%d: err=%v completed=%v", shards, r.Err, r.Completed)
+				}
+				var b bytes.Buffer
+				if err := WriteRunJSON(&b, r); err != nil {
+					t.Fatal(err)
+				}
+				return r, b.Bytes()
+			}
+			serial, serialJSON := run(1)
+			for _, shards := range []int{2, 4} {
+				sharded, shardedJSON := run(shards)
+				if sharded.Cycles != serial.Cycles {
+					t.Errorf("shards=%d: cycle counts diverge: %d vs serial %d",
+						shards, sharded.Cycles, serial.Cycles)
+				}
+				if !bytes.Equal(shardedJSON, serialJSON) {
+					t.Fatalf("shards=%d: run JSON diverges from serial:\n%s",
+						shards, firstJSONDiff(shardedJSON, serialJSON))
+				}
+				t.Logf("shards=%d: cycles=%d wall=%v (serial %v)",
+					shards, sharded.Cycles, sharded.WallTime, serial.WallTime)
+			}
+		})
+	}
+}

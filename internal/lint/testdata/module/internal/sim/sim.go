@@ -1,0 +1,21 @@
+// Package sim mirrors the repository's sharded-machine coordinator shape
+// for the determinism analyzer: a sanctioned, annotated worker-pool spawn
+// (the quantum-synchronized shard workers of DESIGN.md §13) that must be
+// suppressed, and an unsanctioned goroutine that must be flagged.
+package sim
+
+// RunWorkers is the coordinator's sanctioned parallelism: each worker only
+// runs between barrier handshakes, so results are schedule-independent.
+func RunWorkers(start <-chan int, work func(int), done chan<- struct{}) {
+	go func() { //simlint:allow determinism -- quantum-synchronized worker; results are schedule-independent by construction
+		for edge := range start {
+			work(edge)
+			done <- struct{}{}
+		}
+	}()
+}
+
+// SpawnHelper has no annotation; the analyzer must report it.
+func SpawnHelper(fn func()) {
+	go fn() // want determinism
+}

@@ -1,0 +1,7 @@
+package machine
+
+// SetJitter installs a hook that every shard worker calls at the top of
+// each parallel window. Tests use it to perturb goroutine scheduling
+// (sleeps, yields) and then assert the results did not move — the
+// executable form of the sharding determinism argument (DESIGN.md §13).
+func (m *Machine) SetJitter(f func()) { m.jitter = f }

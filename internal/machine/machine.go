@@ -62,6 +62,14 @@ type Config struct {
 	// (extension tables such as coherence.NewReviveTable).
 	Protocol *coherence.Table
 
+	// Shards partitions the machine's nodes across that many OS threads
+	// with conservative time-quantum synchronization (DESIGN.md §13). The
+	// result is byte-identical at any shard count; 0 or 1 runs serially.
+	// Clamped to the largest divisor of Nodes at or below the request, and
+	// forced to 1 on the reference kernel and when SampleInterval is set
+	// (the series recorder needs the single global engine).
+	Shards int
+
 	// SampleInterval, when non-zero, records a time-series sample of every
 	// registered metric each SampleInterval cycles into a bounded ring
 	// buffer (see Machine.Recorder).
@@ -91,7 +99,41 @@ type Machine struct {
 	// net.sent, ...); snapshot it with Reg.Snapshot().
 	Reg *stats.Registry
 
+	// ShardReg holds the shard.* execution telemetry of a sharded run
+	// (quantum counts, barrier waits, cross-shard traffic). It is a
+	// separate registry because its values depend on the shard count — an
+	// execution knob outside the config identity — and must never leak
+	// into the deterministic Reg snapshot that WriteRunJSON serializes.
+	// Nil on serial machines.
+	ShardReg *stats.Registry
+
+	// Sharded-execution state (nil/empty when Cfg.Shards <= 1).
+	shards  []*shard
+	nodesPS int       // nodes per shard
+	quantum sim.Cycle // conservative lookahead window (K)
+
+	// jitter, when set (tests only), runs at the top of every worker window
+	// to perturb the goroutine schedule; byte-identical results under
+	// aggressive jitter are the sharding determinism argument's stress test.
+	jitter func()
+
+	// Coordinator telemetry, published through ShardReg.
+	quanta       uint64 // parallel quanta dispatched
+	barrierWaits uint64 // worker arrivals at the quantum barrier
+	crossMsgs    uint64 // staged sends replayed at sync points
+	serialWin    uint64 // lockstep windows forced by sync safety
+	serialCycles uint64 // cycles stepped under lockstep
+
 	recorder *stats.Recorder
+}
+
+// shard is one partition of the machine: a contiguous node range driven by
+// its own engine and network endpoint, plus the worker-handshake channel.
+type shard struct {
+	eng    *sim.Engine
+	ep     *network.Endpoint
+	lo, hi int            // node range [lo, hi)
+	start  chan sim.Cycle // coordinator -> worker: run to this edge
 }
 
 // New builds a machine.
@@ -105,6 +147,24 @@ func New(cfg Config) *Machine {
 	if cfg.AppThreads == 0 {
 		cfg.AppThreads = 1
 	}
+	// Normalize the shard count: at least 1, at most Nodes, a divisor of
+	// Nodes (equal contiguous partitions), and serial whenever another
+	// feature needs the single global engine.
+	nsh := cfg.Shards
+	if nsh < 1 {
+		nsh = 1
+	}
+	if nsh > cfg.Nodes {
+		nsh = cfg.Nodes
+	}
+	if cfg.ReferenceKernel || cfg.SampleInterval > 0 {
+		nsh = 1
+	}
+	for cfg.Nodes%nsh != 0 {
+		nsh--
+	}
+	cfg.Shards = nsh
+
 	eng := sim.NewEngine()
 	if cfg.ReferenceKernel {
 		eng = sim.NewReferenceEngine()
@@ -116,15 +176,46 @@ func New(cfg Config) *Machine {
 		AMap: addrmap.NewMap(cfg.Nodes),
 		Reg:  stats.NewRegistry(),
 	}
+	hop := sim.Cycle(25 * cfg.CPUGHz)
 	m.Net = network.New(network.Config{
 		Nodes:       cfg.Nodes,
-		HopCycles:   sim.Cycle(25 * cfg.CPUGHz),
+		HopCycles:   hop,
 		BytesPerCyc: 1.0 / cfg.CPUGHz,
 		LocalLoop:   4,
 	}, m.Eng, func(msg *network.Message) {
 		m.Nodes[msg.Dst].OnNetMessage(msg)
 	})
-	m.Eng.AddQuiescer(m.Net)
+	if nsh > 1 {
+		// The conservative lookahead quantum: the largest power of two at
+		// or below the network hop latency. A power of two divides the
+		// 256-cycle Done-poll batches evenly, so quantum edges and batch
+		// edges coincide and the reported cycle count stays identical to a
+		// serial run; staying at or below one hop guarantees every
+		// cross-shard message sent inside a window arrives strictly after
+		// the window's edge, where it is injected during replay.
+		m.quantum = 256
+		for m.quantum > hop {
+			m.quantum >>= 1
+		}
+		if m.quantum < 1 {
+			m.quantum = 1
+		}
+		m.nodesPS = cfg.Nodes / nsh
+		for k := 0; k < nsh; k++ {
+			seng := m.Eng
+			if k > 0 {
+				seng = sim.NewEngine()
+			}
+			ep := m.Net.NewEndpoint(seng)
+			seng.AddQuiescer(ep)
+			m.shards = append(m.shards, &shard{
+				eng: seng, ep: ep,
+				lo: k * m.nodesPS, hi: (k + 1) * m.nodesPS,
+			})
+		}
+	} else {
+		m.Eng.AddQuiescer(m.Net)
+	}
 
 	smtp := cfg.Model == SMTp
 	mcDiv := sim.Cycle(2)
@@ -169,12 +260,17 @@ func New(cfg Config) *Machine {
 		if cfg.PipeTweak != nil {
 			cfg.PipeTweak(&pipeCfg)
 		}
+		neng, nport := m.Eng, network.Port(m.Net)
+		if nsh > 1 {
+			s := m.shards[i/m.nodesPS]
+			neng, nport = s.eng, s.ep
+		}
 		m.Nodes = append(m.Nodes, node.New(node.Config{
 			ID:         addrmap.NodeID(i),
 			Nodes:      cfg.Nodes,
 			AddrMap:    m.AMap,
-			Engine:     m.Eng,
-			Net:        m.Net,
+			Engine:     neng,
+			Net:        nport,
 			Sync:       m.Sync,
 			PipeCfg:    pipeCfg,
 			MCCfg:      mcCfg,
@@ -182,6 +278,29 @@ func New(cfg Config) *Machine {
 			MCClockDiv: mcDiv,
 			Protocol:   cfg.Protocol,
 		}))
+	}
+	if nsh > 1 {
+		// Keyed scheduling: tag every clocked component with its global
+		// serial position (node order x components per node) so events carry
+		// provenance keys and cross-shard replay can interleave deliveries in
+		// the exact order a serial run would produce.
+		compsPerNode := m.shards[0].eng.NumClocked() / m.nodesPS
+		for _, s := range m.shards {
+			s.eng.EnableKeys(uint64(compsPerNode * s.lo))
+		}
+		m.ShardReg = stats.NewRegistry()
+		sc := m.ShardReg.Scope("shard")
+		sc.CounterFunc("quanta", func() uint64 { return m.quanta })
+		sc.CounterFunc("barrier_waits", func() uint64 { return m.barrierWaits })
+		sc.CounterFunc("cross_msgs", func() uint64 { return m.crossMsgs })
+		sc.CounterFunc("serial_windows", func() uint64 { return m.serialWin })
+		sc.CounterFunc("serial_cycles", func() uint64 { return m.serialCycles })
+		for k, s := range m.shards {
+			seng := s.eng
+			ks := m.ShardReg.Scope(fmt.Sprintf("shard%d", k))
+			ks.CounterFunc("stepped_cycles", func() uint64 { return uint64(seng.Now()) - seng.SkippedCycles() })
+			ks.CounterFunc("skipped_cycles", func() uint64 { return seng.SkippedCycles() })
+		}
 	}
 	m.Sync.onWake = func(gtid int) {
 		m.Nodes[gtid/cfg.AppThreads].Pipe.Wake()
@@ -232,7 +351,43 @@ func (m *Machine) Done() bool {
 			return false
 		}
 	}
-	return m.Net.InFlight() == 0 && m.Eng.PendingEvents() == 0
+	return m.Net.InFlight() == 0 && m.pendingEvents() == 0
+}
+
+// pendingEvents sums scheduled-event counts across every engine (one on a
+// serial machine, one per shard otherwise).
+func (m *Machine) pendingEvents() int {
+	if len(m.shards) == 0 {
+		return m.Eng.PendingEvents()
+	}
+	n := 0
+	for _, s := range m.shards {
+		n += s.eng.PendingEvents()
+	}
+	return n
+}
+
+// SkippedCycles sums the kernel's skipped-cycle count across every engine.
+func (m *Machine) SkippedCycles() uint64 {
+	if len(m.shards) == 0 {
+		return m.Eng.SkippedCycles()
+	}
+	var n uint64
+	for _, s := range m.shards {
+		n += s.eng.SkippedCycles()
+	}
+	return n
+}
+
+// flushDeferred settles lazily-deferred core ticks on every engine.
+func (m *Machine) flushDeferred() {
+	if len(m.shards) == 0 {
+		m.Eng.FlushDeferred()
+		return
+	}
+	for _, s := range m.shards {
+		s.eng.FlushDeferred()
+	}
 }
 
 // Run steps the machine until completion or maxCycles, returning the cycle
@@ -259,7 +414,10 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles sim.Cycle) (sim.Cycl
 	}
 	// Lazily-deferred core ticks must be settled before callers read any
 	// component state (statistics harvest, coherence checks).
-	defer m.Eng.FlushDeferred()
+	defer m.flushDeferred()
+	if len(m.shards) > 1 {
+		return m.runSharded(ctx, maxCycles)
+	}
 	start := m.Eng.Now()
 	limit := start + maxCycles
 	if limit < start {

@@ -1,0 +1,190 @@
+package machine
+
+import (
+	"context"
+
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/network"
+	"smtpsim/internal/sim"
+)
+
+// This file is the intra-run sharding coordinator (DESIGN.md §13): the
+// machine's nodes are partitioned into contiguous shards, each driven by its
+// own engine on its own OS thread, synchronized conservatively every
+// lookahead quantum. Three invariants make the result byte-identical to a
+// serial run at any shard count:
+//
+//  1. The quantum never exceeds the network hop latency, so a cross-shard
+//     message sent inside a window cannot be due before the window's edge —
+//     staging it and replaying at the edge loses nothing.
+//  2. Replay sorts all shards' staged sends by their captured engine
+//     positions (the global serial scheduling order) and reserves the
+//     shared link table single-threaded, reconstructing the serial
+//     network's exact contention and delivery times.
+//  3. Windows in which any thread could reach a synchronization operation
+//     (the one mutation of cross-shard state outside the network) run in
+//     cycle-by-cycle lockstep on the coordinator instead of in parallel.
+
+// now returns the machine-wide clock. All shard engines agree at every
+// coordinator decision point: windows run every engine to the same edge,
+// lockstep steps them one cycle together, and idle jumps move them in
+// unison.
+func (m *Machine) now() sim.Cycle {
+	return m.shards[0].eng.Now()
+}
+
+// epOf maps a destination node to its shard's network endpoint (the replay
+// hook that schedules a delivery on the owning engine).
+func (m *Machine) epOf(id addrmap.NodeID) *network.Endpoint {
+	return m.shards[int(id)/m.nodesPS].ep
+}
+
+// replay injects every staged cross-shard send in global serial order; it
+// must run at every sync point, with all shards parked at the same cycle.
+func (m *Machine) replay() {
+	m.crossMsgs += uint64(m.Net.ReplayStaged(m.epOf))
+}
+
+// syncHorizon returns how many upcoming cycles (capped at limit) are
+// provably free of synchronization-manager mutations machine-wide (see
+// pipeline.SyncHorizon). Synchronization is the only cross-shard mutation
+// that bypasses the network, so a window of that length may run fully in
+// parallel; 0 means the very next cycle must run in lockstep.
+func (m *Machine) syncHorizon(limit sim.Cycle) sim.Cycle {
+	for _, n := range m.Nodes {
+		limit = n.Pipe.SyncHorizon(limit)
+		if limit == 0 {
+			break
+		}
+	}
+	return limit
+}
+
+// stepAll executes exactly one cycle on every shard, in shard order. Shard
+// order is global component-registration order, so synchronization-manager
+// mutations (which happen inside core ticks) occur in the same order a
+// serial engine's component scan would produce. Event-handler order across
+// shards is free: handlers touch only shard-local state, and the sends they
+// emit are re-sorted into serial order by replay.
+func (m *Machine) stepAll() {
+	for _, s := range m.shards {
+		s.eng.Step()
+	}
+}
+
+// shardWorker runs one shard: each handshake receives a window edge, runs
+// the shard's engine — skipping its own quiescent stretches — up to it, and
+// reports back. Workers only ever run inside sync-safe windows, touching
+// nothing but their shard's engine, nodes and endpoint.
+func (m *Machine) shardWorker(s *shard, done chan<- struct{}) {
+	for edge := range s.start {
+		if m.jitter != nil {
+			m.jitter()
+		}
+		for s.eng.Now() < edge {
+			s.eng.Advance(edge)
+		}
+		done <- struct{}{}
+	}
+}
+
+// runSharded is RunContext's sharded twin: the same 256-cycle batch loop
+// and Done-poll cadence (so the reported cycle count matches a serial run),
+// with each batch advanced window-by-window instead of by one engine.
+func (m *Machine) runSharded(ctx context.Context, maxCycles sim.Cycle) (sim.Cycle, bool) {
+	done := make(chan struct{}, len(m.shards))
+	for _, s := range m.shards[1:] {
+		s.start = make(chan sim.Cycle)
+		// The coordinator's worker pool is the sanctioned parallelism of the
+		// sharded machine; the conservative quantum protocol above makes it
+		// schedule-independent.
+		go m.shardWorker(s, done) //simlint:allow determinism -- quantum-synchronized shard workers; results are schedule-independent by construction
+	}
+	defer func() {
+		for _, s := range m.shards[1:] {
+			close(s.start)
+		}
+	}()
+
+	start := m.now()
+	limit := start + maxCycles
+	if limit < start {
+		limit = sim.NoWork // wrapped: effectively unbounded
+	}
+	batches := 0
+	for m.now() < limit {
+		batchEnd := m.now() + 256
+		if batchEnd > limit || batchEnd < m.now() {
+			batchEnd = limit
+		}
+		for m.now() < batchEnd {
+			m.window(batchEnd, done)
+		}
+		if m.Done() {
+			return m.now() - start, true
+		}
+		if batches++; batches >= ctxCheckBatches {
+			batches = 0
+			if ctx.Err() != nil {
+				return m.now() - start, false
+			}
+		}
+	}
+	return m.now() - start, m.Done()
+}
+
+// window advances the machine through one coordinator decision:
+//
+//   - If every shard can skip to the next quantum edge or beyond, nothing
+//     observable happens before the common bound — jump all engines there
+//     in unison and execute that single cycle serially (idle fast-path).
+//   - Else, if some prefix of the window is provably free of
+//     synchronization mutations, dispatch the workers: every shard runs
+//     independently — skipping its own idle stretches — to the end of that
+//     prefix (at most the quantum edge), then staged sends replay. A short
+//     sync-safe prefix shortens the parallel window rather than forcing it
+//     serial.
+//   - Else (a synchronization mutation may occur on the very next cycle)
+//     fall back to one cycle of serial lockstep — jump to the common
+//     bound, step every shard, replay — and re-decide; parallelism resumes
+//     the moment the synchronization point has passed.
+func (m *Machine) window(batchEnd sim.Cycle, done chan struct{}) {
+	now := m.now()
+	edge := now - now%m.quantum + m.quantum
+	if edge > batchEnd {
+		edge = batchEnd
+	}
+	bound := batchEnd
+	for _, s := range m.shards {
+		if b := s.eng.SkipBound(batchEnd); b < bound {
+			bound = b
+		}
+	}
+	if bound < edge {
+		if h := m.syncHorizon(edge - now); h > 0 {
+			pEdge := now + h
+			m.quanta++
+			for _, s := range m.shards[1:] {
+				s.start <- pEdge
+			}
+			s0 := m.shards[0]
+			for s0.eng.Now() < pEdge {
+				s0.eng.Advance(pEdge)
+			}
+			for range m.shards[1:] {
+				<-done
+				m.barrierWaits++
+			}
+			m.replay()
+			return
+		}
+		m.serialWin++
+		m.serialCycles++
+	}
+	// Serial: one exact cycle at the common bound, all shards glued.
+	for _, s := range m.shards {
+		s.eng.JumpTo(bound)
+	}
+	m.stepAll()
+	m.replay()
+}

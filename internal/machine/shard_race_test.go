@@ -1,0 +1,90 @@
+package machine_test
+
+import (
+	"bytes"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smtpsim/internal/core"
+	"smtpsim/internal/machine"
+	"smtpsim/internal/sim"
+	"smtpsim/internal/workload"
+)
+
+// stressRun builds one machine, optionally installs a scheduling-jitter
+// hook, runs the workload to completion and returns (cycles, metrics JSON).
+func stressRun(t *testing.T, cfg core.Config, shards int, jitter func()) (sim.Cycle, []byte) {
+	t.Helper()
+	m := machine.New(machine.Config{
+		Model:      cfg.Model,
+		Nodes:      cfg.Nodes,
+		AppThreads: cfg.AppThreads,
+		CPUGHz:     cfg.CPUGHz,
+		Shards:     shards,
+	})
+	if jitter != nil {
+		m.SetJitter(jitter)
+	}
+	workload.Attach(m, core.BuildWorkload(cfg))
+	cycles, done := m.Run(50_000_000)
+	if !done {
+		t.Fatalf("shards=%d: run did not complete in the cycle budget", shards)
+	}
+	var buf bytes.Buffer
+	if err := m.Reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatalf("shards=%d: snapshot: %v", shards, err)
+	}
+	return cycles, buf.Bytes()
+}
+
+// scheduleJitter returns a hook that shard workers call at the top of each
+// parallel window: it yields or sleeps pseudo-randomly so the goroutine
+// interleaving differs wildly between runs. The mixer state is atomic
+// because the hook runs concurrently on every worker.
+func scheduleJitter(seed uint64) func() {
+	var ctr uint64
+	return func() {
+		n := atomic.AddUint64(&ctr, 0x9e3779b97f4a7c15) ^ seed
+		n *= 0xff51afd7ed558ccd
+		n ^= n >> 33
+		switch n >> 61 {
+		case 0:
+			time.Sleep(time.Duration(n % 4))
+		case 1, 2:
+			runtime.Gosched()
+		}
+	}
+}
+
+// TestShardQuantumBarrierStress is the -race stress of the quantum
+// barrier: the same config runs serially, then sharded under several
+// jitter seeds that randomize worker scheduling. Every run must produce
+// the same cycle count and byte-identical metrics; the race detector
+// checks the barrier protocol itself (run `go test -race` to engage it).
+func TestShardQuantumBarrierStress(t *testing.T) {
+	cfg := core.Config{
+		Model: core.SMTp, App: core.FFT,
+		Nodes: 8, AppThreads: 2, CPUGHz: 2,
+		Scale: 0.25, Seed: 42,
+	}
+	wantCycles, wantJSON := stressRun(t, cfg, 1, nil)
+
+	shardCounts := []int{2, 4, 8}
+	seeds := []uint64{1, 0xdecafbad}
+	if testing.Short() {
+		shardCounts, seeds = shardCounts[:1], seeds[:1]
+	}
+	for _, nsh := range shardCounts {
+		for _, seed := range seeds {
+			cycles, json := stressRun(t, cfg, nsh, scheduleJitter(seed))
+			if cycles != wantCycles {
+				t.Errorf("shards=%d seed=%#x: cycles=%d, serial=%d", nsh, seed, cycles, wantCycles)
+			}
+			if !bytes.Equal(json, wantJSON) {
+				t.Errorf("shards=%d seed=%#x: metrics diverge from the serial run", nsh, seed)
+			}
+		}
+	}
+}

@@ -68,7 +68,7 @@ type MC struct {
 	eng  *sim.Engine
 	env  coherence.Env
 	node NodeIface
-	net  *network.Network
+	net  network.Port
 	back Backend
 
 	table      *coherence.Table
@@ -149,7 +149,7 @@ func (mc *MC) sampleQueuesN(count uint64) {
 
 // New builds a controller. The backend must be set with SetBackend before
 // the first dispatch.
-func New(cfg Config, eng *sim.Engine, env coherence.Env, node NodeIface, net *network.Network) *MC {
+func New(cfg Config, eng *sim.Engine, env coherence.Env, node NodeIface, net network.Port) *MC {
 	if cfg.ClockDiv == 0 {
 		cfg.ClockDiv = 2
 	}

@@ -87,6 +87,12 @@ type Network struct {
 	pool  Pool        // the machine's message recycler
 	dfree []*delivery // pooled in-flight delivery records
 
+	// Sharded machines route every send through per-shard Endpoints; the
+	// network keeps the shared topology and link tables and replays the
+	// endpoints' staged sends at sync points (see shard.go).
+	eps       []*Endpoint
+	replayBuf []stagedSend
+
 	Sent      uint64
 	Delivered uint64
 	BytesSent uint64
@@ -239,8 +245,36 @@ func (d *delivery) fire() {
 	n.deliver(m)
 }
 
-// InFlight reports the number of sent-but-undelivered messages.
-func (n *Network) InFlight() uint64 { return n.Sent - n.Delivered }
+// totSent and friends sum the serial counters with every endpoint's, so
+// the published metrics are mode-independent: a sharded run reports the
+// same names and — by the determinism contract — the same values.
+func (n *Network) totSent() uint64 {
+	t := n.Sent
+	for _, ep := range n.eps {
+		t += ep.Sent
+	}
+	return t
+}
+
+func (n *Network) totDelivered() uint64 {
+	t := n.Delivered
+	for _, ep := range n.eps {
+		t += ep.Delivered
+	}
+	return t
+}
+
+func (n *Network) totBytesSent() uint64 {
+	t := n.BytesSent
+	for _, ep := range n.eps {
+		t += ep.BytesSent
+	}
+	return t
+}
+
+// InFlight reports the number of sent-but-undelivered messages (staged
+// cross-shard sends count as in flight until their delivery fires).
+func (n *Network) InFlight() uint64 { return n.totSent() - n.totDelivered() }
 
 // NextWork implements sim.Quiescer. The network holds no clocked state:
 // every in-flight message is a scheduled delivery event, and the kernel
@@ -256,9 +290,9 @@ func (n *Network) NextWork(now sim.Cycle) (sim.Cycle, bool) {
 // scope: message and byte totals, link-contention waits, and the
 // in-flight gauge the drain check uses.
 func (n *Network) RegisterMetrics(s *stats.Scope) {
-	s.CounterFunc("sent", func() uint64 { return n.Sent })
-	s.CounterFunc("delivered", func() uint64 { return n.Delivered })
-	s.CounterFunc("bytes_sent", func() uint64 { return n.BytesSent })
+	s.CounterFunc("sent", n.totSent)
+	s.CounterFunc("delivered", n.totDelivered)
+	s.CounterFunc("bytes_sent", n.totBytesSent)
 	s.CounterFunc("link_waits", func() uint64 { return n.LinkWaits })
 	s.GaugeFunc("in_flight", func() float64 { return float64(n.InFlight()) })
 }

@@ -1,0 +1,182 @@
+package network
+
+import (
+	"sort"
+
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/sim"
+)
+
+// Port is the interconnect surface a message producer (a node's memory
+// controller) needs: inject a message, draw pooled messages. On a serial
+// machine the Network itself is the port; on a sharded machine each shard
+// talks to its own Endpoint so the hot send path touches no shared state.
+type Port interface {
+	Send(m *Message)
+	MsgPool() *Pool
+}
+
+// stagedSend is one cross-shard message awaiting deterministic replay: the
+// message, its send cycle, the sender's engine position at Send time (the
+// global scheduling order of the send), and the endpoint-local staging
+// sequence that breaks ties among sends from the same position.
+type stagedSend struct {
+	m   *Message
+	at  sim.Cycle
+	pos [3]uint64
+	seq uint64
+}
+
+// Endpoint is one shard's private interface to the shared Network
+// (DESIGN.md §13). Sends whose destination lives on any shard are staged —
+// never delivered directly — and the quantum coordinator replays all
+// shards' staged sends in the global serial order at every sync point,
+// reserving the shared link tables single-threaded. Loopback messages
+// (Src == Dst) never leave the shard and are scheduled inline. The message
+// pool, delivery records and traffic counters are all endpoint-local, so
+// the steady-state send path allocates nothing and shares nothing.
+type Endpoint struct {
+	net    *Network
+	eng    *sim.Engine
+	pool   Pool
+	dfree  []*epDelivery
+	staged []stagedSend
+	seq    uint64
+
+	Sent      uint64
+	Delivered uint64
+	BytesSent uint64
+}
+
+// NewEndpoint creates a shard-local port onto the network, driven by the
+// shard's engine. Deliveries to this shard's nodes must be scheduled
+// through the endpoint (ReplayStaged does so) to use its local free lists.
+func (n *Network) NewEndpoint(eng *sim.Engine) *Endpoint {
+	ep := &Endpoint{net: n, eng: eng}
+	n.eps = append(n.eps, ep)
+	return ep
+}
+
+// MsgPool returns the endpoint's message recycler. Messages may cross
+// shards and retire into another endpoint's pool; Get zeroes recycled
+// messages, so migration is harmless.
+func (e *Endpoint) MsgPool() *Pool { return &e.pool }
+
+// Send implements Port: loopback messages are scheduled shard-locally at
+// the configured loopback latency, everything else is staged for the next
+// sync-point replay. Counters are endpoint-local; the network sums them.
+func (e *Endpoint) Send(m *Message) {
+	m.AssertLive("network.Send")
+	e.Sent++
+	e.BytesSent += uint64(m.Bytes())
+	if m.Src == m.Dst {
+		e.eng.Schedule(e.eng.Now()+e.net.cfg.LocalLoop, e.deliveryFn(m))
+		return
+	}
+	e.seq++
+	e.staged = append(e.staged, stagedSend{m: m, at: e.eng.Now(), pos: e.eng.Pos(), seq: e.seq})
+}
+
+// NextWork implements sim.Quiescer for the shard engine: like the serial
+// network, every in-flight message is a scheduled delivery event (staged
+// sends only become visible to other shards at a sync point, which is also
+// a skip boundary), so the endpoint itself never bounds a jump.
+func (e *Endpoint) NextWork(now sim.Cycle) (sim.Cycle, bool) {
+	return sim.NoWork, true
+}
+
+// epDelivery is the endpoint-local pooled pending-arrival record,
+// mirroring the serial network's delivery type.
+type epDelivery struct {
+	ep *Endpoint
+	m  *Message
+	fn func()
+}
+
+func (e *Endpoint) deliveryFn(m *Message) func() {
+	var d *epDelivery
+	if k := len(e.dfree); k > 0 {
+		d = e.dfree[k-1]
+		e.dfree[k-1] = nil
+		e.dfree = e.dfree[:k-1]
+	} else {
+		d = &epDelivery{ep: e}
+		d.fn = d.fire
+	}
+	d.m = m
+	return d.fn
+}
+
+func (d *epDelivery) fire() {
+	e, m := d.ep, d.m
+	d.m = nil
+	e.dfree = append(e.dfree, d)
+	e.Delivered++
+	e.net.deliver(m)
+}
+
+// ReplayStaged drains every endpoint's staged sends in the global serial
+// send order and schedules their deliveries. The coordinator calls it
+// single-threaded at every sync point (quantum edge or lockstep cycle
+// end), which is what keeps the shared link-reservation table and the
+// LinkWaits counter byte-identical to a serial run: sorting by the
+// captured engine positions reconstructs the exact order one serial engine
+// would have executed the sends in, and equal positions — possible only
+// for sends from the same component, hence the same shard — fall back to
+// that shard's staging sequence, its local call order.
+//
+// epOf maps a destination node to its shard's endpoint; the delivery is
+// scheduled on that endpoint's engine under the sender's captured position
+// via ScheduleKeyed, so it interleaves with the destination shard's local
+// events exactly as on one serial engine. Returns the number of messages
+// replayed.
+func (n *Network) ReplayStaged(epOf func(addrmap.NodeID) *Endpoint) int {
+	buf := n.replayBuf[:0]
+	for _, ep := range n.eps {
+		buf = append(buf, ep.staged...)
+		for i := range ep.staged {
+			ep.staged[i].m = nil
+		}
+		ep.staged = ep.staged[:0]
+	}
+	if len(buf) == 0 {
+		n.replayBuf = buf
+		return 0
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		a, b := &buf[i], &buf[j]
+		if a.pos != b.pos {
+			if a.pos[0] != b.pos[0] {
+				return a.pos[0] < b.pos[0]
+			}
+			if a.pos[1] != b.pos[1] {
+				return a.pos[1] < b.pos[1]
+			}
+			return a.pos[2] < b.pos[2]
+		}
+		return a.seq < b.seq
+	})
+	for i := range buf {
+		s := &buf[i]
+		m := s.m
+		ser := serCycles(m.Bytes(), n.cfg.BytesPerCyc)
+		t := s.at
+		t = n.reserveLink(int(m.Src), t, ser)
+		cur, dst := routerOf(m.Src), routerOf(m.Dst)
+		for d := 0; cur != dst; d++ {
+			bit := 1 << uint(d)
+			if (cur^dst)&bit != 0 {
+				t = n.reserveLink(n.dimBase+cur*n.dims+d, t, ser)
+				cur ^= bit
+			}
+		}
+		t = n.reserveLink(n.ejBase+int(m.Dst), t, ser)
+		done := t + 2*ser + sim.Cycle(n.Hops(m.Src, m.Dst))*n.cfg.HopCycles
+		to := epOf(m.Dst)
+		to.eng.ScheduleKeyed(done, s.pos, to.deliveryFn(m))
+		s.m = nil
+	}
+	replayed := len(buf)
+	n.replayBuf = buf[:0]
+	return replayed
+}

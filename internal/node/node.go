@@ -55,7 +55,7 @@ type Config struct {
 	Nodes      int
 	AddrMap    *addrmap.Map
 	Engine     *sim.Engine
-	Net        *network.Network
+	Net        network.Port
 	Sync       SyncPoller
 	PipeCfg    pipeline.Config
 	MCCfg      memctrl.Config

@@ -42,6 +42,7 @@ func (p *Pipeline) retireable(u *uop, t *thread, now sim.Cycle) bool {
 			// The first poll registers arrival with the sync manager — a
 			// real state change; repeat polls of a blocked wait are pure.
 			u.polled = true
+			t.synPolled = true
 			p.active = true
 		}
 		return p.sync != nil && p.sync.SyncPoll(t.id, u.in.SyncTok)

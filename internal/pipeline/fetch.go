@@ -123,6 +123,7 @@ func (p *Pipeline) fetch(now sim.Cycle) {
 			if in.Op == isa.OpSyncWait {
 				// Do not run ahead of a synchronization point.
 				t.fetchBlockedSyn = true
+				t.synPolled = false
 				stop = true
 			}
 			if t.isProtocol && in.Flags&isa.FlagLastInHandler != 0 {

@@ -126,6 +126,17 @@ type InstrSource interface {
 	Done() bool
 }
 
+// SyncDistancer is optionally implemented by instruction sources that can
+// report how far ahead their next synchronization point lies. SyncDistance
+// returns the number of not-yet-fetched instructions before the next
+// OpSyncWait, or -1 when no synchronization remains in the stream. The
+// shard coordinator uses it as a conservative lookahead bound: a thread
+// whose next wait is beyond the fetch horizon of a time quantum cannot
+// touch the machine-global sync manager within it.
+type SyncDistancer interface {
+	SyncDistance() int
+}
+
 // uop is one in-flight dynamic instruction.
 type uop struct {
 	in    isa.Instr
@@ -389,6 +400,62 @@ func (p *Pipeline) Backend() *ProtoBackend {
 		panic("pipeline: not an SMTp core")
 	}
 	return &ProtoBackend{p: p}
+}
+
+// SyncHorizon returns how many upcoming cycles (capped at limit) are
+// provably free of state-changing operations on the machine-global sync
+// manager by any thread of this core — the window length for which the
+// shard coordinator may run the core concurrently with other shards
+// (DESIGN.md §13). Per application thread (protocol threads never
+// synchronize):
+//
+//   - a fetched-but-unpolled SyncWait could reach its first poll — which
+//     registers arrival, a global mutation — on the very next cycle:
+//     horizon 0;
+//   - a thread parked on an already-polled wait that still polls false
+//     contributes nothing: the probe is one of the pure re-polls, and a
+//     wait that is false when the coordinator checks every core stays
+//     false for the whole window, because unblocking requires a sync
+//     mutation somewhere and a window admitted by this predicate has none;
+//   - otherwise the thread's next SyncWait lies d stream instructions
+//     ahead (a parked thread whose wait now polls true resumes mid-window
+//     and is treated exactly like a running one). Fetch supplies at most
+//     FetchWidth instructions per cycle, so the wait cannot be fetched —
+//     let alone reach the commit-stage poll — before ceil((d+1)/FetchWidth)
+//     cycles pass; every cycle strictly before that is safe.
+//
+// A source that cannot report its sync distance yields horizon 0
+// (conservatively unsafe).
+func (p *Pipeline) SyncHorizon(limit sim.Cycle) sim.Cycle {
+	h := limit
+	fw := sim.Cycle(p.cfg.FetchWidth)
+	for i := 0; i < p.cfg.AppThreads && h > 0; i++ {
+		t := p.threads[i]
+		if t.fetchBlockedSyn {
+			if !t.synPolled {
+				return 0
+			}
+			if u := t.robPeek(); u != nil && u.in.Op == isa.OpSyncWait && u.polled &&
+				!p.sync.SyncPoll(t.id, u.in.SyncTok) {
+				continue // parked for the whole window
+			}
+		}
+		if t.source == nil || t.source.Done() {
+			continue
+		}
+		sd, ok := t.source.(SyncDistancer)
+		if !ok {
+			return 0
+		}
+		d := sd.SyncDistance()
+		if d < 0 {
+			continue
+		}
+		if safe := (sim.Cycle(d)+fw)/fw - 1; safe < h {
+			h = safe
+		}
+	}
+	return h
 }
 
 // AppDone reports whether every application thread has drained completely.

@@ -17,6 +17,7 @@ type thread struct {
 	fetchStallUntil sim.Cycle
 	fetchBlockedICM bool   // waiting on an instruction-cache fill
 	fetchBlockedSyn bool   // stopped behind a fetched SyncWait
+	synPolled       bool   // that SyncWait has registered its first poll
 	streamLine      uint64 // one-line fetch-stream buffer (last I-fill)
 	wrongPath       bool
 	wrongPC         uint64

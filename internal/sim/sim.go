@@ -61,9 +61,10 @@ type clockedEntry struct {
 	c        Clocked
 	q        Quiescer // non-nil when c implements Quiescer
 	s        SkipAware
-	period   Cycle // tick every `period` cycles
-	phase    Cycle // tick when now%period == phase
-	nextTick Cycle // precomputed next due cycle (skipping engine)
+	period   Cycle  // tick every `period` cycles
+	phase    Cycle  // tick when now%period == phase
+	tag      uint64 // global registration tag (keyed engines; see EnableKeys)
+	nextTick Cycle  // precomputed next due cycle (skipping engine)
 
 	// Lazy-tick state (see MakeLazy). While deferring, nextTick holds the
 	// deferral window's end and settleBase the first elided due cycle.
@@ -73,15 +74,31 @@ type clockedEntry struct {
 }
 
 type event struct {
-	at  Cycle
+	at Cycle
+	// pos is the scheduling-context key (see Pos): all-zero on unkeyed
+	// engines, where ordering degenerates to the classic (at, seq) FIFO.
+	pos [3]uint64
 	seq uint64
 	fn  func()
 }
 
-// eventLess orders events by due time, FIFO within a cycle.
+// eventLess orders events by due time, then scheduling context, then FIFO
+// sequence. On an unkeyed engine every pos is zero and the order is the
+// original (at, seq); on a keyed engine the pos lanes reproduce the global
+// serial scheduling order even when the events were scheduled by different
+// shards (see EnableKeys).
 func eventLess(a, b event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.pos != b.pos {
+		if a.pos[0] != b.pos[0] {
+			return a.pos[0] < b.pos[0]
+		}
+		if a.pos[1] != b.pos[1] {
+			return a.pos[1] < b.pos[1]
+		}
+		return a.pos[2] < b.pos[2]
 	}
 	return a.seq < b.seq
 }
@@ -128,6 +145,15 @@ type Engine struct {
 	reference bool
 	skipped   uint64
 
+	// Keyed-scheduling state (sharded machines; see EnableKeys). ctx is the
+	// engine's current execution-context position: every Schedule captures
+	// it into the event's pos lanes so same-cycle events — including
+	// deliveries injected by another shard via ScheduleKeyed — fire in the
+	// exact order a single serial engine would have fired them.
+	keyed   bool
+	ctx     [3]uint64
+	tagBase uint64
+
 	// scanPos is the number of clocked components whose tick slot for the
 	// current cycle has already passed: 0 while the cycle's events fire, i
 	// while comps[i] is being examined, len(comps) between Steps. Lazy
@@ -165,6 +191,90 @@ func (e *Engine) Now() Cycle { return e.now }
 // (always 0 on the reference engine).
 func (e *Engine) SkippedCycles() uint64 { return e.skipped }
 
+// tickCtx marks a context position as a component tick (bit 63 of the
+// second lane). Tick positions can never collide with event-child
+// positions, whose second lane holds a doubled schedule cycle (< 2^63).
+const tickCtx = uint64(1) << 63
+
+// EnableKeys switches the engine to keyed event ordering for intra-run
+// sharding (DESIGN.md §13). Clocked components registered after this call
+// are tagged tagBase, tagBase+1, ... — the caller passes each shard's
+// offset into the single global registration order a serial engine would
+// have used, making tags unique machine-wide.
+//
+// On a keyed engine every scheduled event carries the scheduling context's
+// position, a three-lane key that is totally ordered across shards:
+//
+//	tick of component tag g at cycle c  -> (2c+1, tickCtx|g, 0)
+//	firing of event with key K at cycle c -> (2c,  K.pos[0], K.pos[1])
+//	outside Step (construction, attach) -> (0, 0, 0)
+//
+// Within one engine the positions are non-decreasing in scheduling order,
+// so keyed ordering is identical to the classic (at, seq) FIFO; across
+// engines two positions are equal only for the same component, which lives
+// on exactly one shard — so cross-shard deliveries injected with
+// ScheduleKeyed interleave with local events exactly as on one big serial
+// engine, and the per-engine seq lane never decides a cross-shard tie.
+func (e *Engine) EnableKeys(tagBase uint64) {
+	if e.reference {
+		panic("sim: EnableKeys on the reference engine")
+	}
+	e.keyed = true
+	e.ctx = [3]uint64{0, 0, 0}
+	for i := range e.comps {
+		e.comps[i].tag = tagBase + uint64(i)
+	}
+	e.tagBase = tagBase
+}
+
+// Keyed reports whether EnableKeys has been called.
+func (e *Engine) Keyed() bool { return e.keyed }
+
+// Pos returns the engine's current execution-context position (all-zero
+// unless EnableKeys is active). The network's cross-shard staging captures
+// it at Send time so a replayed delivery carries its sender's global
+// scheduling position.
+func (e *Engine) Pos() [3]uint64 { return e.ctx }
+
+// ScheduleKeyed runs fn at the given absolute cycle with an explicit
+// scheduling-context position — the cross-shard injection primitive: the
+// quantum coordinator replays a staged send by scheduling its delivery on
+// the destination shard's engine under the sender's captured position.
+func (e *Engine) ScheduleKeyed(at Cycle, pos [3]uint64, fn func()) {
+	if at <= e.now {
+		panic(fmt.Sprintf("sim: schedule at %d but now is %d", at, e.now))
+	}
+	e.seq++
+	e.pushEvent(event{at: at, pos: pos, seq: e.seq, fn: fn})
+}
+
+// SkipBound returns the earliest cycle (capped at limit) at which anything
+// observable can happen on this engine — the same bound Advance would jump
+// to. It is read-only: the lockstep coordinator polls every shard's bound
+// and jumps them in unison to the minimum. A return of now+1 means the
+// very next cycle is (or may be) active.
+func (e *Engine) SkipBound(limit Cycle) Cycle {
+	if e.reference {
+		return e.now + 1
+	}
+	return e.skipTarget(limit)
+}
+
+// JumpTo elides the cycles in (now, target): afterwards Now is target-1
+// and the next Step executes target as an ordinary exact cycle, with every
+// skipped component compensated. A target at or below now+1 is a no-op.
+// Callers must have established — e.g. via SkipBound on every coupled
+// engine — that nothing observable happens before target.
+func (e *Engine) JumpTo(target Cycle) {
+	if !e.reference && target > e.now+1 {
+		e.jump(target)
+	}
+}
+
+// NumClocked reports how many clocked components are registered (the
+// machine uses it to derive per-shard tag bases).
+func (e *Engine) NumClocked() int { return len(e.comps) }
+
 // AddClocked registers a component ticked every period cycles (period >= 1),
 // starting at cycle phase%period. Components registered earlier tick earlier
 // within a cycle. If the component implements Quiescer (and optionally
@@ -177,6 +287,9 @@ func (e *Engine) AddClocked(c Clocked, period, phase Cycle) {
 	ce := clockedEntry{c: c, period: period, phase: phase % period}
 	ce.q, _ = c.(Quiescer)
 	ce.s, _ = c.(SkipAware)
+	if e.keyed {
+		ce.tag = e.tagBase + uint64(len(e.comps))
+	}
 	// First due cycle at or after the next Step's cycle.
 	from := e.now + 1
 	ce.nextTick = from + (ce.phase+period-from%period)%period
@@ -340,7 +453,7 @@ func (e *Engine) Schedule(at Cycle, fn func()) {
 		heap.Push(&e.refEvents, event{at: at, seq: e.seq, fn: fn})
 		return
 	}
-	e.pushEvent(event{at: at, seq: e.seq, fn: fn})
+	e.pushEvent(event{at: at, pos: e.ctx, seq: e.seq, fn: fn})
 }
 
 // After runs fn delay cycles from now. A zero delay is rounded up to one
@@ -391,6 +504,9 @@ func (e *Engine) Step() {
 	e.scanPos = 0
 	for len(e.events) > 0 && e.events[0].at <= e.now {
 		ev := e.popEvent()
+		if e.keyed {
+			e.ctx = [3]uint64{2 * uint64(e.now), ev.pos[0], ev.pos[1]}
+		}
 		ev.fn()
 	}
 	for i := range comps {
@@ -398,6 +514,9 @@ func (e *Engine) Step() {
 		ce := &comps[i]
 		if ce.nextTick != e.now {
 			continue
+		}
+		if e.keyed {
+			e.ctx = [3]uint64{2*uint64(e.now) + 1, tickCtx | ce.tag, 0}
 		}
 		if ce.deferring {
 			// Window end reached without input: settle the elided ticks,

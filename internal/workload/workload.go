@@ -108,10 +108,15 @@ func (w *Workload) TotalInstructions() int {
 type SliceSource struct {
 	ins []isa.Instr
 	pos int
+
+	// syncAt caches the index of the next OpSyncWait at or after pos
+	// (len(ins) once none remain); the forward scan in SyncDistance resumes
+	// from it, so the whole stream is scanned at most once per run.
+	syncAt int
 }
 
 // NewSliceSource wraps a stream.
-func NewSliceSource(ins []isa.Instr) *SliceSource { return &SliceSource{ins: ins} }
+func NewSliceSource(ins []isa.Instr) *SliceSource { return &SliceSource{ins: ins, syncAt: -1} }
 
 // Peek implements pipeline.InstrSource.
 func (s *SliceSource) Peek() *isa.Instr {
@@ -127,7 +132,27 @@ func (s *SliceSource) Advance() { s.pos++ }
 // Done implements pipeline.InstrSource.
 func (s *SliceSource) Done() bool { return s.pos >= len(s.ins) }
 
-var _ pipeline.InstrSource = (*SliceSource)(nil)
+// SyncDistance implements pipeline.SyncDistancer: the number of not-yet-
+// consumed instructions before the next OpSyncWait, or -1 when none
+// remain. Amortized O(1): the scan position only moves forward.
+func (s *SliceSource) SyncDistance() int {
+	if s.syncAt < s.pos {
+		i := s.pos
+		for i < len(s.ins) && s.ins[i].Op != isa.OpSyncWait {
+			i++
+		}
+		s.syncAt = i
+	}
+	if s.syncAt >= len(s.ins) {
+		return -1
+	}
+	return s.syncAt - s.pos
+}
+
+var (
+	_ pipeline.InstrSource   = (*SliceSource)(nil)
+	_ pipeline.SyncDistancer = (*SliceSource)(nil)
+)
 
 // Build synthesizes the selected application.
 func Build(p Params) *Workload {
