@@ -35,8 +35,9 @@ test-poolcheck:
 test-race:
 	$(GO) test -race -timeout 60m ./...
 
-# Static-analysis gate: determinism, map-order safety, metric-name grammar
-# and API hygiene (see DESIGN.md "Determinism rules"). Zero findings or the
+# Static-analysis gate: determinism, map-order safety, metric-name grammar,
+# API hygiene, hot-path allocations and shard ownership (see DESIGN.md
+# "Determinism rules" and "Shard-ownership rules"). Zero findings or the
 # build fails.
 lint:
 	$(GO) run ./cmd/simlint

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smtpsim/internal/lint"
+)
+
+// fixtureDir is the seeded-violation module the lint package tests use;
+// the CLI tests run the binary's run() against it.
+var fixtureDir = filepath.Join("..", "..", "internal", "lint", "testdata", "module")
+
+// TestJSONGolden pins the -json output schema — field names, field order,
+// and the file/line/col/check sort — against the fixture module, so
+// downstream tooling can parse findings without silent drift. Regenerate
+// with: go test ./cmd/simlint -run TestJSONGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", fixtureDir}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run -json on fixture: exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "fixture.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got := stdout.Bytes(); !bytes.Equal(got, want) {
+		t.Errorf("-json output drifted from %s (rerun with -update if intentional)\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+
+	// The golden bytes must stay parseable into the exported Diagnostic
+	// shape with every field populated.
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("golden output is not a Diagnostic array: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	for i, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Check == "" || d.Message == "" {
+			t.Errorf("finding %d has a zero field: %+v", i, d)
+		}
+		if i > 0 {
+			prev := diags[i-1]
+			if prev.File > d.File || (prev.File == d.File && prev.Line > d.Line) {
+				t.Errorf("findings not sorted by file then line: %s:%d after %s:%d", d.File, d.Line, prev.File, prev.Line)
+			}
+		}
+	}
+}
+
+// TestCheckList covers the comma-separated -check form: only the named
+// analyzers (plus annotation hygiene) may report.
+func TestCheckList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-check=maporder,hotalloc", fixtureDir}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		open := strings.Index(line, "[")
+		close := strings.Index(line, "]")
+		if open < 0 || close < open {
+			t.Fatalf("unparseable finding line: %q", line)
+		}
+		seen[line[open+1:close]] = true
+	}
+	for check := range seen {
+		if check != "maporder" && check != "hotalloc" && check != "annotation" {
+			t.Errorf("-check=maporder,hotalloc reported %q", check)
+		}
+	}
+	if !seen["maporder"] || !seen["hotalloc"] {
+		t.Errorf("expected both requested analyzers to report; saw %v", seen)
+	}
+}
+
+// TestUnknownCheck pins the exit-2 contract: an unknown analyzer name
+// must not silently run nothing, and the error must list what exists.
+func TestUnknownCheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-check=nosuch", fixtureDir}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `unknown check "nosuch"`) {
+		t.Errorf("stderr missing unknown-check message: %s", msg)
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(msg, a.Name) {
+			t.Errorf("analyzer table missing %q: %s", a.Name, msg)
+		}
+	}
+}
+
+// TestUsageListsAllAnalyzers keeps the -h analyzer table in sync with the
+// registered suite.
+func TestUsageListsAllAnalyzers(t *testing.T) {
+	var out bytes.Buffer
+	analyzerTable(&out)
+	if got := len(lint.Analyzers()); got != 6 {
+		t.Fatalf("analyzer suite has %d entries, want 6 (update the doc comment and this test)", got)
+	}
+	for _, a := range lint.Analyzers() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("analyzer table missing %q", a.Name)
+		}
+	}
+}

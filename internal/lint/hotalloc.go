@@ -9,8 +9,9 @@ import (
 // hotAllocPackages are the packages on the simulator's per-message hot
 // path: every network message and memory-controller dispatch flows through
 // them, so a stray allocation there multiplies by hundreds of millions of
-// events per run.
-var hotAllocPackages = []string{"network", "memctrl", "coherence", "ppengine"}
+// events per run. machine is included for the shard staging/replay path:
+// every cross-shard message crosses its coordinator.
+var hotAllocPackages = []string{"network", "memctrl", "coherence", "ppengine", "machine"}
 
 // runHotAlloc flags the two allocation patterns the hot path has been
 // purged of:

@@ -1,6 +1,6 @@
 // Package lint implements simlint, the repository's stdlib-only static
 // analysis suite. It loads every package in the module with go/parser and
-// go/types and runs four analyzers over the typed syntax trees:
+// go/types and runs six analyzers over the typed syntax trees:
 //
 //   - determinism: wall-clock reads, math/rand, environment lookups and
 //     goroutine spawns inside internal/ simulation packages;
@@ -16,8 +16,14 @@
 //     pointer-to-internal fields (they must stay serializable — configs
 //     are the content addresses of cached results);
 //   - hotalloc: the per-message hot packages (network, memctrl, coherence,
-//     ppengine) must not heap-allocate network messages with &Message{}
-//     literals or key tracking state on map[uint64] struct fields.
+//     ppengine, machine) must not heap-allocate network messages with
+//     &Message{} literals or key tracking state on map[uint64] struct
+//     fields;
+//   - shardsafe: code reachable from a shard-parallel window must not
+//     write machine-shared state, use sync/channel primitives outside
+//     sanctioned barrier funnels, or leak shard-owned references into
+//     machine-shared structures; ownership is declared with
+//     //simlint:shardlocal and //simlint:shardfunnel directives.
 //
 // Intentional violations are silenced with an annotation on the offending
 // line (or the line above it):
@@ -85,6 +91,11 @@ func Analyzers() []*Analyzer {
 			Name: "hotalloc",
 			Doc:  "hot packages use pooled messages and dense tables, not &network.Message{} or map[uint64] fields",
 			Run:  runHotAlloc,
+		},
+		{
+			Name: "shardsafe",
+			Doc:  "shard-window code touches only shard-owned state; cross-shard effects funnel through sanctioned staging points",
+			Run:  runShardSafe,
 		},
 	}
 }

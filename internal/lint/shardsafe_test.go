@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestModule materializes a throwaway module from path->source pairs
+// and loads it. Used to pin shardsafe behavior on minimal programs where
+// the fixture module would be overkill.
+func writeTestModule(t *testing.T, files map[string]string) *Module {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load test module: %v", err)
+	}
+	return mod
+}
+
+const tinyGoMod = "module tiny\n\ngo 1.22\n"
+
+// TestShardSafeCatchesCrossShardWrite is the regression the analyzer
+// exists for: a deliberate unsanctioned write to machine-shared state in
+// window-reachable code must be flagged.
+func TestShardSafeCatchesCrossShardWrite(t *testing.T) {
+	mod := writeTestModule(t, map[string]string{
+		"go.mod": tinyGoMod,
+		"internal/machine/machine.go": `package machine
+
+type Machine struct {
+	Cycles uint64
+}
+
+func (m *Machine) shardWorker() {
+	bump(m)
+}
+
+func bump(m *Machine) {
+	m.Cycles++
+}
+`,
+	})
+	diags := RunAll(mod, []*Analyzer{Lookup("shardsafe")})
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "shardsafe" || !strings.Contains(d.Message, "machine-shared") || !strings.Contains(d.Message, "bump") {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestShardSafeEngineDispatchRoot pins the second root family: a write in
+// a Tick method is window-reachable even with no shardWorker anywhere.
+func TestShardSafeEngineDispatchRoot(t *testing.T) {
+	mod := writeTestModule(t, map[string]string{
+		"go.mod": tinyGoMod,
+		"internal/machine/machine.go": `package machine
+
+type Machine struct {
+	Cycles uint64
+}
+`,
+		"internal/core2/core.go": `package core2
+
+import "tiny/internal/machine"
+
+type Core struct {
+	M *machine.Machine
+}
+
+func (c *Core) Tick(now uint64) {
+	c.M.Cycles = now
+}
+`,
+	})
+	diags := RunAll(mod, []*Analyzer{Lookup("shardsafe")})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "Cycles") {
+		t.Fatalf("got %v, want one finding on the Tick write", diags)
+	}
+}
+
+// TestShardSafeDirectives pins the two sanctioning mechanisms: a
+// shardfunnel'd function may write shared state, and a shardlocal type
+// stops ownership propagation.
+func TestShardSafeDirectives(t *testing.T) {
+	mod := writeTestModule(t, map[string]string{
+		"go.mod": tinyGoMod,
+		"internal/machine/machine.go": `package machine
+
+type Machine struct {
+	Cycles uint64
+	eng    *Engine
+}
+
+//simlint:shardlocal -- test: per-shard engine
+type Engine struct {
+	now uint64
+}
+
+func (m *Machine) shardWorker(e *Engine) {
+	e.now++
+	sanctioned(m)
+}
+
+//simlint:shardfunnel -- test: lockstep-only
+func sanctioned(m *Machine) {
+	m.Cycles++
+}
+`,
+	})
+	if diags := RunAll(mod, []*Analyzer{Lookup("shardsafe")}); len(diags) != 0 {
+		t.Fatalf("directives did not sanction: %v", diags)
+	}
+}
+
+// TestShardSafeEscape pins class (c): handing a shard-owned reference to
+// machine-shared storage is reported as an escape, not a plain write.
+func TestShardSafeEscape(t *testing.T) {
+	mod := writeTestModule(t, map[string]string{
+		"go.mod": tinyGoMod,
+		"internal/machine/machine.go": `package machine
+
+type Machine struct {
+	eng *Engine
+}
+
+//simlint:shardlocal -- test: per-shard engine
+type Engine struct {
+	now uint64
+}
+
+func (m *Machine) shardWorker(e *Engine) {
+	m.eng = e
+}
+`,
+	})
+	diags := RunAll(mod, []*Analyzer{Lookup("shardsafe")})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "escapes") {
+		t.Fatalf("got %v, want one escape finding", diags)
+	}
+}
+
+// TestAllowTwoChecksOneLine covers stacking annotations so two different
+// checks on one line are both suppressed: one annotation above the line,
+// one in place.
+func TestAllowTwoChecksOneLine(t *testing.T) {
+	files := map[string]string{
+		"go.mod": tinyGoMod,
+		"internal/network/network.go": `package network
+
+type Message struct {
+	Addr uint64
+}
+`,
+		"internal/machine/machine.go": `package machine
+
+import "tiny/internal/network"
+
+type Machine struct {
+	msg *network.Message
+}
+
+func (m *Machine) shardWorker() {
+	//simlint:allow hotalloc -- test: cold-path buffer
+	m.msg = &network.Message{Addr: 1} //simlint:allow shardsafe -- test: coordinator-only write
+}
+`,
+	}
+	mod := writeTestModule(t, files)
+	if diags := RunAll(mod, Analyzers()); len(diags) != 0 {
+		t.Fatalf("stacked annotations did not suppress both checks: %v", diags)
+	}
+
+	// Control: the same program without annotations must produce both
+	// findings on that line.
+	files["internal/machine/machine.go"] = strings.NewReplacer(
+		"//simlint:allow hotalloc -- test: cold-path buffer", "",
+		"//simlint:allow shardsafe -- test: coordinator-only write", "",
+	).Replace(files["internal/machine/machine.go"])
+	mod = writeTestModule(t, files)
+	checks := map[string]bool{}
+	for _, d := range RunAll(mod, Analyzers()) {
+		checks[d.Check] = true
+	}
+	if !checks["hotalloc"] || !checks["shardsafe"] {
+		t.Fatalf("control run missing a check: %v", checks)
+	}
+}
+
+// TestAllowAboveMultilineStatement covers an annotation on its own line
+// above a statement that spans several lines: the finding anchors to the
+// statement's first line, which the annotation's line+1 window reaches.
+func TestAllowAboveMultilineStatement(t *testing.T) {
+	mod := writeTestModule(t, map[string]string{
+		"go.mod": tinyGoMod,
+		"internal/machine/machine.go": `package machine
+
+type Machine struct {
+	tab []uint64
+}
+
+func (m *Machine) shardWorker() {
+	//simlint:allow shardsafe -- test: setup-only append, never concurrent
+	m.tab = append(m.tab,
+		1,
+		2,
+		3)
+}
+`,
+	})
+	if diags := RunAll(mod, Analyzers()); len(diags) != 0 {
+		t.Fatalf("annotation above multi-line statement did not suppress: %v", diags)
+	}
+}
+
+// TestAllowNamesShardSafe guards the annotation registry: shardsafe is a
+// known check name, so allowing it must not itself be a finding (this
+// regressed silently before shardsafe joined Analyzers()).
+func TestAllowNamesShardSafe(t *testing.T) {
+	mod := writeTestModule(t, map[string]string{
+		"go.mod": tinyGoMod,
+		"internal/machine/machine.go": `package machine
+
+type Machine struct {
+	Cycles uint64
+}
+
+func (m *Machine) shardWorker() {
+	m.Cycles++ //simlint:allow shardsafe -- test: known-name round trip
+}
+`,
+	})
+	for _, d := range RunAll(mod, Analyzers()) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestShardSafeConcurrencyBan pins class (b) on a minimal program:
+// channel use in a simulation package needs a funnel regardless of
+// window reachability.
+func TestShardSafeConcurrencyBan(t *testing.T) {
+	mod := writeTestModule(t, map[string]string{
+		"go.mod": tinyGoMod,
+		"internal/queue/queue.go": `package queue
+
+func Drain(c chan int) int {
+	total := 0
+	for v := range c {
+		total += v
+	}
+	return total
+}
+`,
+	})
+	diags := RunAll(mod, []*Analyzer{Lookup("shardsafe")})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "range over a channel") {
+		t.Fatalf("got %v, want one channel-range finding", diags)
+	}
+}

@@ -1,0 +1,14 @@
+// Directive hygiene specimens: a shard directive must carry a reason,
+// name a known verb, and land on a declaration it can sanction.
+package machine
+
+//simlint:shardlocal // want shardsafe
+
+//simlint:shardfunnel -- fixture: wrong target, functions only // want shardsafe
+type Wrong struct{}
+
+//simlint:sharded -- no such verb // want shardsafe
+
+//simlint:shardfunnel -- fixture: attaches to nothing // want shardsafe
+
+var orphan int

@@ -1,0 +1,143 @@
+// Package machine mirrors the repository's shard coordinator for the
+// shardsafe analyzer: a Machine seed type, a shardWorker window root, and
+// one specimen of every finding class — shared-state writes (a),
+// concurrency primitives outside a funnel (b), and shard-owned references
+// escaping into machine-shared structures (c) — plus the directive
+// hygiene findings and the allow-annotation edge cases.
+package machine
+
+import (
+	"sync" // want shardsafe
+
+	"fixture/internal/network"
+)
+
+var gMu sync.Mutex
+
+// gTable is machine-shared storage by virtue of being package-level.
+var gTable = make([]int, 16)
+
+// Machine is the coordinator: the analyzer seeds the machine-shared type
+// set from it and propagates through its fields.
+type Machine struct {
+	Cycles uint64
+	books  map[uint64]int // want hotalloc
+	sink   *Sink
+	shared *Shared
+	eng    *Engine
+	msg    *network.Message
+}
+
+// Sink is machine-shared by propagation through Machine.sink.
+type Sink struct {
+	Vals []uint64
+}
+
+// Shared is machine-shared by propagation through Machine.shared.
+type Shared struct {
+	eng *Engine
+}
+
+// Engine mirrors the per-shard simulation engine.
+//
+//simlint:shardlocal -- fixture: one engine per shard, like sim.Engine
+type Engine struct {
+	pending []func(uint64)
+}
+
+// tick is the engine's dispatch loop: the indirect calls fan out to every
+// address-taken func(uint64) in the module, which is how scheduled event
+// closures stay window-reachable.
+func (e *Engine) tick() {
+	for _, fn := range e.pending {
+		fn(0)
+	}
+}
+
+// shardWorker is the window root: everything it reaches runs during a
+// shard-parallel window.
+func (m *Machine) shardWorker(e *Engine) {
+	m.Cycles++        // want shardsafe
+	gTable[0] = 1     // want shardsafe
+	m.books[7] = 1    // want shardsafe
+	m.sink.Vals = nil // want shardsafe
+	e.tick()
+	helperWrite(m)
+	aliasWrite(m)
+	publish(m, e)
+	stash(m, e)
+	coldWrites(m)
+
+	//simlint:allow hotalloc -- fixture: two checks on one line, first suppressed from the line above
+	m.msg = &network.Message{Addr: 2} //simlint:allow shardsafe -- fixture: two checks on one line, second suppressed in place
+
+	//simlint:allow shardsafe -- fixture: annotation above a multi-line statement covers the finding on its first line
+	m.sink.Vals = append(m.sink.Vals,
+		1, 2, 3)
+}
+
+// helperWrite is window-reachable through shardWorker's static call.
+func helperWrite(m *Machine) {
+	m.Cycles += 1 // want shardsafe
+}
+
+// aliasWrite shows flow through a local alias: t is machine-shared
+// because m.sink is.
+func aliasWrite(m *Machine) {
+	t := m.sink
+	t.Vals[0] = 9 // want shardsafe
+}
+
+// publish leaks a shard-owned engine into the shared coordinator (class c
+// through a plain assignment).
+func publish(m *Machine, e *Engine) {
+	m.eng = e // want shardsafe
+}
+
+// stash leaks a shard-owned engine through a composite literal of a
+// machine-shared type (class c through a struct literal).
+func stash(m *Machine, e *Engine) {
+	s := &Shared{eng: e} // want shardsafe
+	_ = s
+}
+
+// arm registers an event closure. arm itself is never called, but the
+// closure is address-taken with the engine dispatch signature, so the
+// analyzer must treat it as window-reachable through tick's fan-out.
+func arm(m *Machine, e *Engine) {
+	e.pending = append(e.pending, func(now uint64) {
+		m.Cycles = now // want shardsafe
+	})
+}
+
+// Poll mutates shared state but carries the funnel sanction.
+//
+//simlint:shardfunnel -- fixture: lockstep-only, like SyncManager.Poll
+func Poll(m *Machine, tok uint64) bool {
+	m.books[tok]++
+	return true
+}
+
+// badWait uses a channel outside any funnel (class b); reachability does
+// not matter for the concurrency-primitive ban.
+func badWait(c chan int) int {
+	return <-c // want shardsafe
+}
+
+// Setup runs before the shards start; it is not window-reachable, so its
+// shared writes are fine.
+func Setup(m *Machine) {
+	m.Cycles = 0
+	gTable[0] = 0
+	m.books = make(map[uint64]int)
+}
+
+// coldWrites only touches shard-owned state: no findings even though it
+// is window-reachable.
+func coldWrites(m *Machine) {
+	e := &Engine{}
+	e.pending = e.pending[:0]
+	local := 0
+	local++
+	_ = local
+}

@@ -6,6 +6,8 @@ package sim
 
 // RunWorkers is the coordinator's sanctioned parallelism: each worker only
 // runs between barrier handshakes, so results are schedule-independent.
+//
+//simlint:shardfunnel -- fixture: the sanctioned barrier handshake, like machine.shardWorker
 func RunWorkers(start <-chan int, work func(int), done chan<- struct{}) {
 	go func() { //simlint:allow determinism -- quantum-synchronized worker; results are schedule-independent by construction
 		for edge := range start {

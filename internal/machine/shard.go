@@ -76,6 +76,8 @@ func (m *Machine) stepAll() {
 // the shard's engine — skipping its own quiescent stretches — up to it, and
 // reports back. Workers only ever run inside sync-safe windows, touching
 // nothing but their shard's engine, nodes and endpoint.
+//
+//simlint:shardfunnel -- the worker half of the quantum-barrier handshake; its channels ARE the sanctioned synchronization of DESIGN.md §13
 func (m *Machine) shardWorker(s *shard, done chan<- struct{}) {
 	for edge := range s.start {
 		if m.jitter != nil {
@@ -91,6 +93,8 @@ func (m *Machine) shardWorker(s *shard, done chan<- struct{}) {
 // runSharded is RunContext's sharded twin: the same 256-cycle batch loop
 // and Done-poll cadence (so the reported cycle count matches a serial run),
 // with each batch advanced window-by-window instead of by one engine.
+//
+//simlint:shardfunnel -- the coordinator: creates and closes the barrier channels that carry the handshake
 func (m *Machine) runSharded(ctx context.Context, maxCycles sim.Cycle) (sim.Cycle, bool) {
 	done := make(chan struct{}, len(m.shards))
 	for _, s := range m.shards[1:] {
@@ -148,6 +152,8 @@ func (m *Machine) runSharded(ctx context.Context, maxCycles sim.Cycle) (sim.Cycl
 //     fall back to one cycle of serial lockstep — jump to the common
 //     bound, step every shard, replay — and re-decide; parallelism resumes
 //     the moment the synchronization point has passed.
+//
+//simlint:shardfunnel -- the coordinator half of the quantum-barrier handshake: dispatches window edges and collects worker completions
 func (m *Machine) window(batchEnd sim.Cycle, done chan struct{}) {
 	now := m.now()
 	edge := now - now%m.quantum + m.quantum

@@ -45,6 +45,8 @@ const HeaderBytes = 16
 // the hot protocol paths are recycled through a Pool; the embedded
 // poolState is empty unless the poolcheck build tag poisons released
 // messages to catch use-after-release.
+//
+//simlint:shardlocal -- a live message is owned by exactly one shard at a time; cross-shard handoff happens only through endpoint staging and barrier replay
 type Message struct {
 	poolState
 	Src, Dst  addrmap.NodeID
@@ -136,6 +138,8 @@ func (n *Network) MsgPool() *Pool { return &n.pool }
 // reserveLink queues the message behind link slot l: the transfer starts at
 // t or when the link frees, whichever is later, and holds the link for ser
 // cycles. Returns the (possibly delayed) start time.
+//
+//simlint:shardfunnel -- the shared link table is reserved single-threaded by construction: from Send on an unsharded machine, or from ReplayStaged at a sync point with all shards parked
 func (n *Network) reserveLink(l int, t, ser sim.Cycle) sim.Cycle {
 	if b := n.linkBusy[l]; b > t {
 		t = b
@@ -180,6 +184,8 @@ func serCycles(bytes int, bpc float64) sim.Cycle {
 // Send injects a message. Arrival time accounts for injection-port queuing,
 // per-hop latency, serialization, and ejection-port queuing; delivery is a
 // scheduled event calling the deliver callback.
+//
+//simlint:shardfunnel -- serial-path only: sharded machines route every window send through their shard's Endpoint (the Port interface); the Network's own Send runs unsharded
 func (n *Network) Send(m *Message) {
 	m.AssertLive("network.Send")
 	n.Sent++
@@ -223,6 +229,7 @@ type delivery struct {
 	fn func()
 }
 
+//simlint:shardfunnel -- serial-path only, like Send: pooled delivery records are drawn here for unsharded delivery or during barrier replay
 func (n *Network) deliveryFn(m *Message) func() {
 	var d *delivery
 	if k := len(n.dfree); k > 0 {
@@ -237,6 +244,12 @@ func (n *Network) deliveryFn(m *Message) func() {
 	return d.fn
 }
 
+// fire is the serial delivery event. Sharded machines never schedule it —
+// their deliveries run through the endpoint-local epDelivery (shard.go) —
+// but it is statically window-reachable through the engine's event
+// dispatch, so the sanction is spelled out here.
+//
+//simlint:shardfunnel -- serial-path only: deliveryFn events exist solely on unsharded machines (endpoints own the sharded delivery path), so no parallel window can dispatch one
 func (d *delivery) fire() {
 	n, m := d.n, d.m
 	d.m = nil

@@ -9,6 +9,8 @@ package network
 // The pool is single-threaded, like everything inside one machine's event
 // loop. Under the poolcheck build tag Put poisons the released message and
 // AssertLive catches later use; without the tag both are free.
+//
+//simlint:shardlocal -- pools are per-endpoint on sharded machines; a shard only ever draws from and releases to its own free list during a window
 type Pool struct {
 	free []*Message
 

@@ -20,6 +20,8 @@ type Port interface {
 // message, its send cycle, the sender's engine position at Send time (the
 // global scheduling order of the send), and the endpoint-local staging
 // sequence that breaks ties among sends from the same position.
+//
+//simlint:shardlocal -- staged sends live in endpoint-local buffers during a window; ReplayStaged merges them into the network's replay buffer only at sync points, with all shards parked
 type stagedSend struct {
 	m   *Message
 	at  sim.Cycle
@@ -35,6 +37,8 @@ type stagedSend struct {
 // (Src == Dst) never leave the shard and are scheduled inline. The message
 // pool, delivery records and traffic counters are all endpoint-local, so
 // the steady-state send path allocates nothing and shares nothing.
+//
+//simlint:shardlocal -- one endpoint per shard by construction; only the owning shard's send path touches it inside a window, and ReplayStaged drains it with all shards parked
 type Endpoint struct {
 	net    *Network
 	eng    *sim.Engine

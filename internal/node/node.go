@@ -25,6 +25,8 @@ type SyncPoller interface {
 }
 
 // Node is one processor + memory + network-interface unit.
+//
+//simlint:shardlocal -- nodes are partitioned across shards (DESIGN.md §13); only the owning shard's engine ever dispatches into a node during a parallel window
 type Node struct {
 	ID   addrmap.NodeID
 	Pipe *pipeline.Pipeline

@@ -134,6 +134,8 @@ func (h *refQueue) Pop() interface{} {
 // The event queue is a monomorphic 4-ary min-heap of event values: no
 // interface boxing, no per-Push allocation once the backing slice has
 // grown to the high-water mark.
+//
+//simlint:shardlocal -- each shard drives its own engine; cross-shard event injection happens only through ScheduleKeyed at the quantum barrier, with all shards parked
 type Engine struct {
 	now       Cycle
 	seq       uint64

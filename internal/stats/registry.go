@@ -229,6 +229,8 @@ func edgeLabel(e float64) string {
 }
 
 // Gauge is a settable instantaneous value.
+//
+//simlint:shardlocal -- owned by the component's shard, like Counter
 type Gauge struct {
 	v float64
 }
@@ -245,6 +247,8 @@ func (g *Gauge) Value() float64 { return g.v }
 // Histogram counts observations into fixed buckets. Bucket i holds
 // observations v with edges[i-1] < v <= edges[i] ("le" semantics); the
 // final bucket is unbounded.
+//
+//simlint:shardlocal -- owned by the observing component's shard, like Counter
 type Histogram struct {
 	edges  []float64
 	counts []uint64 // len(edges)+1, last = overflow

@@ -11,6 +11,8 @@ import (
 )
 
 // Counter is a monotonically increasing event count.
+//
+//simlint:shardlocal -- each instrument instance belongs to the component that registered it, which lives on exactly one shard; registries only read them at snapshot points with all shards parked
 type Counter struct {
 	n uint64
 }
@@ -29,6 +31,8 @@ func (c *Counter) Reset() { c.n = 0 }
 
 // Peak tracks the maximum of a sampled quantity together with the number of
 // samples, e.g. peak protocol-thread occupancy of the integer queue.
+//
+//simlint:shardlocal -- owned by the sampling component's shard, like Counter
 type Peak struct {
 	max     int
 	samples uint64
