@@ -4,12 +4,13 @@
 # poisoning, the whole suite again under the race detector, the METRICS.md
 # schema freshness, a one-rep smoke of the benchmark harness
 # (`make bench-json` is the full measurement), an end-to-end smoke of
-# the simulation service (`make serve-smoke`), and a sharded-execution
-# smoke (`make shard-smoke`).
+# the simulation service (`make serve-smoke`), a sharded-execution
+# smoke (`make shard-smoke`), and a checkpoint/restore smoke
+# (`make snapshot-smoke`).
 
 GO ?= go
 
-.PHONY: all build test vet fmt test-race test-poolcheck lint lint-fix-list metrics-schema metrics-schema-check bench-json bench-smoke serve-smoke shard-smoke check
+.PHONY: all build test vet fmt test-race test-poolcheck lint lint-fix-list metrics-schema metrics-schema-check bench-json bench-smoke serve-smoke shard-smoke snapshot-smoke check
 
 all: build
 
@@ -54,10 +55,10 @@ fmt:
 	fi
 
 # Benchmark record: the full root benchmark suite (3 reps, min kept, alloc
-# rates included, the BenchmarkShard* per-shard-count points) against the
-# PR 5 baseline in BENCH_5.json, written to BENCH_7.json.
+# rates included, the BenchmarkWarmSweep_* full-vs-forked sweep pair)
+# against the PR 7 baseline in BENCH_7.json, written to BENCH_9.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -count 3 -baseline BENCH_5.json -out BENCH_7.json
+	$(GO) run ./cmd/benchjson -count 3 -baseline BENCH_7.json -out BENCH_9.json
 
 # Quick end-to-end sanity of the bench harness for `make check`: two small
 # benchmarks, one rep per kernel, result discarded.
@@ -70,6 +71,15 @@ bench-smoke:
 # (TestShardDifferential); this gate proves the flag works end to end.
 shard-smoke:
 	$(GO) run ./cmd/smtpsim -model SMTp -app fft -nodes 16 -way 2 -scale 0.25 -shards 4 >/dev/null
+
+# End-to-end smoke of checkpoint/restore (DESIGN.md §14): capture a
+# checkpoint mid-run through the real CLI, restore it at a different shard
+# count, and require the resumed run's metrics JSON to be byte-identical
+# to the uninterrupted run's.
+snapshot-smoke:
+	$(GO) run ./cmd/smtpsim -model SMTp -app fft -nodes 4 -scale 0.25 -snapshot-at 1000 -snapshot-out /tmp/smtpsim_ck.bin -metrics /tmp/smtpsim_full.json >/dev/null
+	$(GO) run ./cmd/smtpsim -model SMTp -app fft -nodes 4 -scale 0.25 -shards 2 -restore /tmp/smtpsim_ck.bin -metrics /tmp/smtpsim_resumed.json >/dev/null
+	cmp /tmp/smtpsim_full.json /tmp/smtpsim_resumed.json
 
 # End-to-end smoke of the simulation service: boot simserver on a loopback
 # port, submit the same spec twice, require the second response to be a
@@ -85,4 +95,4 @@ metrics-schema:
 metrics-schema-check:
 	$(GO) run ./cmd/metricsdoc -check
 
-check: fmt vet lint build test test-poolcheck test-race metrics-schema-check bench-smoke serve-smoke shard-smoke
+check: fmt vet lint build test test-poolcheck test-race metrics-schema-check bench-smoke serve-smoke shard-smoke snapshot-smoke

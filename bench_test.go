@@ -7,8 +7,10 @@
 package smtpsim_test
 
 import (
+	"context"
 	"flag"
 	"math"
+	"sync"
 	"testing"
 
 	"smtpsim/internal/coherence"
@@ -203,6 +205,75 @@ func BenchmarkShard16Node_Shards4(b *testing.B) { benchShardPoint(b, 16, 4) }
 func BenchmarkShard32Node_Shards1(b *testing.B) { benchShardPoint(b, 32, 1) }
 func BenchmarkShard32Node_Shards2(b *testing.B) { benchShardPoint(b, 32, 2) }
 func BenchmarkShard32Node_Shards4(b *testing.B) { benchShardPoint(b, 32, 4) }
+
+// Warm-start sweep forking (DESIGN.md §14) — the same shard-count sweep
+// run both ways: every variant simulated in full, and the variants forked
+// from one shared prefix checkpoint at half the run. The simulated results
+// are byte-identical (internal/core's TestWarmSweepMatchesFullRuns pins
+// that), so the pair measures pure host wall time; cmd/benchjson reports
+// the Full/Forked ratio as the warm-start speedup in BENCH_9.json.
+
+func warmSweepVariants() []core.Config {
+	var cfgs []core.Config
+	for _, shards := range []int{1, 2, 4} {
+		cfgs = append(cfgs, core.Config{
+			Model: core.SMTp, App: core.FFT, Nodes: 16, AppThreads: 2,
+			Scale: 0.25, Seed: 42, Shards: shards,
+		})
+	}
+	return cfgs
+}
+
+var (
+	warmPrefixOnce sync.Once
+	warmPrefixAt   core.Cycle
+)
+
+// warmPrefix picks the fork point — half the sweep's run, aligned — from
+// one full run, computed once per process (outside benchmark timing).
+func warmPrefix(b *testing.B) core.Cycle {
+	warmPrefixOnce.Do(func() {
+		r := core.Run(warmSweepVariants()[0])
+		if !r.Completed {
+			return
+		}
+		warmPrefixAt = (r.Cycles / 2) &^ (core.SnapshotAlign - 1)
+	})
+	if warmPrefixAt < core.SnapshotAlign {
+		b.Fatal("warm-sweep run too short to pick a fork point")
+	}
+	return warmPrefixAt
+}
+
+func BenchmarkWarmSweep_Full(b *testing.B) {
+	cfgs := warmSweepVariants()
+	w := core.BuildWorkload(cfgs[0])
+	jobs := make([]core.Job, len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = core.Job{Cfg: c, Workload: w}
+	}
+	for i := 0; i < b.N; i++ {
+		for _, r := range (core.Runner{}).RunBatch(context.Background(), jobs) {
+			if !r.Completed {
+				b.Fatalf("full sweep variant failed: %v", r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkWarmSweep_Forked(b *testing.B) {
+	cfgs := warmSweepVariants()
+	prefix := warmPrefix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range (core.Suite{}).RunWarmSweep(prefix, cfgs) {
+			if !r.Completed {
+				b.Fatalf("warm sweep variant failed: %v", r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(prefix), "fork-cycle")
+}
 
 // Ablations from §2.1 and §2.3.
 

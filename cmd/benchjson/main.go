@@ -1,10 +1,13 @@
 // Command benchjson measures the repository's root benchmark suite and
-// records the result as BENCH_7.json: wall time and allocation rate per
-// benchmark, plus the speedup over the baseline recorded in BENCH_5.json.
-// The suite now includes the BenchmarkShard* points — the paper-size
-// 16/32-node sweep point at -shards 1/2/4 — so the record captures how
-// intra-run sharding (DESIGN.md §13) behaves on the measuring host; those
-// have no PR 5 baseline and appear without a comparison.
+// records the result as BENCH_9.json: wall time and allocation rate per
+// benchmark, plus the speedup over the baseline recorded in BENCH_7.json.
+// The suite now includes the BenchmarkWarmSweep_* pair — the same
+// shard-count sweep run in full and forked from one shared prefix
+// checkpoint (DESIGN.md §14) — and the record reports their wall-time
+// ratio as warm_sweep_speedup: how much the warm-start fork saves on the
+// measuring host by simulating the common prefix once instead of once per
+// variant. Each record also pins the host's core count and GOMAXPROCS,
+// since every wall-time figure here depends on both.
 //
 // The -baseline loader accepts both record layouts: ns_op (PR 5 and later)
 // and skipping_ns_op (the PR 4 kernel-vs-kernel record).
@@ -41,15 +44,22 @@ type benchResult struct {
 }
 
 type report struct {
-	GoVersion      string        `json:"go_version"`
-	GOOS           string        `json:"goos"`
-	GOARCH         string        `json:"goarch"`
-	MeasuredAt     string        `json:"measured_at"`
-	Count          int           `json:"count"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`    // host logical cores
+	GOMAXPROCS int    `json:"gomaxprocs"` // scheduler width the numbers were measured under
+	MeasuredAt string `json:"measured_at"`
+	Count      int    `json:"count"`
+
 	BenchPattern   string        `json:"bench_pattern"`
 	Baseline       string        `json:"baseline"`
 	Benchmarks     []benchResult `json:"benchmarks"`
 	GeomeanSpeedup float64       `json:"geomean_speedup_vs_baseline"`
+	// WarmSweepSpeedup is BenchmarkWarmSweep_Full over
+	// BenchmarkWarmSweep_Forked: the wall-time factor saved by forking the
+	// sweep's shared prefix from one checkpoint (DESIGN.md §14).
+	WarmSweepSpeedup float64 `json:"warm_sweep_speedup,omitempty"`
 }
 
 // baselineReport accepts both baseline layouts: the PR 5+ records carry
@@ -133,8 +143,8 @@ func loadBaseline(path string) (map[string]float64, error) {
 func main() {
 	count := flag.Int("count", 3, "repetitions; the minimum ns/op is kept")
 	pattern := flag.String("bench", ".", "benchmark regexp forwarded to go test -bench")
-	baseline := flag.String("baseline", "BENCH_5.json", "prior record to compare against (missing file: no comparison)")
-	out := flag.String("out", "BENCH_7.json", "output path")
+	baseline := flag.String("baseline", "BENCH_7.json", "prior record to compare against (missing file: no comparison)")
+	out := flag.String("out", "BENCH_9.json", "output path")
 	flag.Parse()
 
 	base, err := loadBaseline(*baseline)
@@ -150,9 +160,11 @@ func main() {
 	}
 
 	r := report{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		// The measurement record is host-side observability, not simulation
 		// state; the wall-clock read cannot leak into any result.
 		MeasuredAt:   time.Now().UTC().Format(time.RFC3339), //simlint:allow determinism -- bench harness records when the host was measured
@@ -180,6 +192,11 @@ func main() {
 	if compared > 0 {
 		r.GeomeanSpeedup = math.Exp(logGM / float64(compared))
 	}
+	if full, ok := cur["BenchmarkWarmSweep_Full"]; ok {
+		if forked, ok := cur["BenchmarkWarmSweep_Forked"]; ok && forked.ns > 0 {
+			r.WarmSweepSpeedup = full.ns / forked.ns
+		}
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -203,6 +220,9 @@ func main() {
 		} else {
 			fmt.Printf("%-45s %11.0f ns/op %9d allocs/op\n", b.Name, b.NsOp, b.AllocsOp)
 		}
+	}
+	if r.WarmSweepSpeedup > 0 {
+		fmt.Printf("warm-start forked sweep: %.2fx faster than the full sweep\n", r.WarmSweepSpeedup)
 	}
 	fmt.Printf("geomean speedup vs %s: %.3fx (%d of %d benchmarks, count=%d) -> %s\n",
 		*baseline, r.GeomeanSpeedup, compared, len(r.Benchmarks), r.Count, *out)

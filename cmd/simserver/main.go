@@ -42,6 +42,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 0, "max queued runs before submissions get 503 (0 = 64)")
 		cacheMB  = flag.Int64("cache-mb", 0, "result cache budget in MiB (0 = 256)")
+		cacheDir = flag.String("cache-dir", "", "persist the result cache to content-addressed files under this directory and reload them on boot")
 		drainFor = flag.Duration("drain-timeout", 2*time.Minute,
 			"how long a shutdown signal waits for in-flight runs before aborting them")
 		selftest = flag.Bool("selftest", false,
@@ -53,6 +54,7 @@ func main() {
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheBytes: *cacheMB << 20,
+		CacheDir:   *cacheDir,
 	}
 	if *selftest {
 		if err := runSelftest(opts); err != nil {
@@ -102,8 +104,18 @@ func run(addr string, opts serve.Options, drainFor time.Duration) error {
 
 // runSelftest exercises the service end to end on a loopback port: the
 // same spec submitted twice must miss then hit, with byte-identical
-// bodies, and the result must be fetchable by its content address.
+// bodies, and the result must be fetchable by its content address. A
+// second server instance booted on the same cache directory must then
+// serve the spec as an immediate hit — persistence across restarts.
 func runSelftest(opts serve.Options) error {
+	if opts.CacheDir == "" {
+		dir, err := os.MkdirTemp("", "simserver-selftest-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		opts.CacheDir = dir
+	}
 	srv := serve.New(opts)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -116,7 +128,7 @@ func runSelftest(opts serve.Options) error {
 
 	spec := `{"app":"FFT","model":"SMTp","nodes":2,"scale":0.25,"seed":42,` +
 		`"max_cycles":200000,"metrics_interval":10000}`
-	post := func() (string, []byte, error) {
+	postTo := func(base string) (string, []byte, error) {
 		resp, err := http.Post(base+"/v1/runs", "application/json", strings.NewReader(spec))
 		if err != nil {
 			return "", nil, err
@@ -131,6 +143,7 @@ func runSelftest(opts serve.Options) error {
 		}
 		return resp.Header.Get("X-Cache"), body, nil
 	}
+	post := func() (string, []byte, error) { return postTo(base) }
 
 	c1, b1, err := post()
 	if err != nil {
@@ -168,6 +181,31 @@ func runSelftest(opts serve.Options) error {
 	if err := srv.Drain(drainCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "selftest: %d-byte result served twice, second from cache\n", len(b1))
+
+	// Reboot on the same cache directory: the result must come straight
+	// from disk, byte-identical, without a simulation.
+	srv2 := serve.New(opts)
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs2 := &http.Server{Handler: srv2.Handler()}
+	go hs2.Serve(ln2)
+	defer hs2.Close()
+	c3, b3, err := postTo("http://" + ln2.Addr().String())
+	if err != nil {
+		return fmt.Errorf("submit after reboot: %w", err)
+	}
+	if c3 != "hit" {
+		return fmt.Errorf("submit after reboot: X-Cache = %q, want hit from %s", c3, opts.CacheDir)
+	}
+	if !bytes.Equal(b1, b3) {
+		return fmt.Errorf("rebooted cache hit differs from the original run (%d vs %d bytes)",
+			len(b1), len(b3))
+	}
+	if err := srv2.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain rebooted server: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "selftest: %d-byte result served twice, second from cache, third from a rebooted server's disk cache\n", len(b1))
 	return nil
 }

@@ -56,6 +56,12 @@ func main() {
 		protoF = flag.String("protocol", "", "coherence protocol: "+strings.Join(core.ProtocolNames(), ", "))
 		shards = flag.Int("shards", 1, "partition the simulated machine across this many OS threads (results are byte-identical at any value)")
 
+		snapAtF   = flag.Uint64("snapshot-at", 0, "capture a checkpoint at this cycle (rounded up to 256) while still running to completion; requires -snapshot-out")
+		snapOutF  = flag.String("snapshot-out", "", "write the captured checkpoint envelope to this file")
+		restoreF  = flag.String("restore", "", "restore a checkpoint envelope from this file and run the remainder instead of starting at cycle zero")
+		samplePer = flag.Uint64("sample-period", 0, "fast-forward sampling: functionally warm this many instructions per thread between detailed windows (DESIGN.md §14)")
+		sampleWin = flag.Uint64("sample-window", 0, "detailed cycles per sampled window (positive multiple of 256; set together with -sample-period)")
+
 		metricsF   = flag.String("metrics", "", "write the run's metrics JSON to this file (\"-\" = stdout)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -83,19 +89,29 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Model:      model,
-		App:        app,
-		Nodes:      *nodes,
-		AppThreads: *way,
-		CPUGHz:     *ghz,
-		Scale:      *scale,
-		Seed:       *seed,
-		Tweak:      *tweakF,
-		Proto:      *protoF,
-		Shards:     *shards,
+		Model:        model,
+		App:          app,
+		Nodes:        *nodes,
+		AppThreads:   *way,
+		CPUGHz:       *ghz,
+		Scale:        *scale,
+		Seed:         *seed,
+		Tweak:        *tweakF,
+		Proto:        *protoF,
+		Shards:       *shards,
+		SamplePeriod: *samplePer,
+		SampleWindow: core.Cycle(*sampleWin),
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *snapAtF > 0 && *snapOutF == "" {
+		fmt.Fprintln(os.Stderr, "-snapshot-at requires -snapshot-out")
+		os.Exit(2)
+	}
+	if *restoreF != "" && *snapAtF > 0 {
+		fmt.Fprintln(os.Stderr, "-restore and -snapshot-at are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -107,7 +123,46 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res := core.RunContext(ctx, cfg)
+	var (
+		res      *core.Result
+		resumed  *core.Checkpoint
+		captured bool
+	)
+	switch {
+	case *restoreF != "":
+		env, err := os.ReadFile(*restoreF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ck, err := core.UnmarshalCheckpoint(env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restore:", err)
+			os.Exit(1)
+		}
+		resumed = ck
+		res = core.ResumeSnapshotContext(ctx, cfg, ck)
+	case *snapAtF > 0:
+		ck, r, _ := core.RunWithSnapshotContext(ctx, cfg, core.Cycle(*snapAtF))
+		res = r
+		if ck != nil {
+			env, err := ck.MarshalBinary()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "snapshot:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*snapOutF, env, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "snapshot:", err)
+				os.Exit(1)
+			}
+			captured = true
+		} else if res.Err == nil {
+			fmt.Fprintf(os.Stderr, "run ended before cycle %d; no checkpoint written\n", *snapAtF)
+			os.Exit(1)
+		}
+	default:
+		res = core.RunContext(ctx, cfg)
+	}
 	if err := stopProfiling(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
@@ -141,6 +196,12 @@ func main() {
 	}
 	fmt.Fprintf(out, "%v / %v, %d nodes x %d-way @ %.0f GHz (scale %.2f)\n",
 		model, app, *nodes, *way, *ghz, *scale)
+	if captured {
+		fmt.Fprintf(out, "  checkpoint:            written to %s\n", *snapOutF)
+	}
+	if resumed != nil {
+		fmt.Fprintf(out, "  resumed:               from cycle %d (%s)\n", resumed.At, *restoreF)
+	}
 	fmt.Fprintf(out, "  execution time:        %d cycles\n", res.Cycles)
 	fmt.Fprintf(out, "  host:                  %s wall, %.1f Mcycles/s\n",
 		res.WallTime.Round(time.Millisecond), res.CyclesPerSec/1e6)

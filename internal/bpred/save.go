@@ -1,0 +1,143 @@
+package bpred
+
+import "smtpsim/internal/snapshot"
+
+// PredState is a Prediction's serializable image: in-flight branches carry
+// their predict-time indices until resolve, so mid-run snapshots must round
+// trip them exactly.
+type PredState struct {
+	Taken       bool
+	LocalIdx    int
+	LocalPHTIdx int
+	GlobalIdx   int
+	ChoiceIdx   int
+	UsedGlobal  bool
+}
+
+// State exports a Prediction for serialization.
+func (p Prediction) State() PredState {
+	return PredState{
+		Taken: p.Taken, LocalIdx: p.localIdx, LocalPHTIdx: p.localPHTIdx,
+		GlobalIdx: p.globalIdx, ChoiceIdx: p.choiceIdx, UsedGlobal: p.usedGlobal,
+	}
+}
+
+// PredictionFromState rebuilds a Prediction from its serialized image.
+func PredictionFromState(s PredState) Prediction {
+	return Prediction{
+		Taken: s.Taken, localIdx: s.LocalIdx, localPHTIdx: s.LocalPHTIdx,
+		globalIdx: s.GlobalIdx, choiceIdx: s.ChoiceIdx, usedGlobal: s.UsedGlobal,
+	}
+}
+
+// SaveState serializes the tournament predictor's tables and counters.
+func (t *Tournament) SaveState(e *snapshot.Encoder) {
+	e.Mark("bpred")
+	e.U64(t.Lookups)
+	e.U64(t.Mispredicts)
+	for _, h := range t.localHist {
+		e.U64(uint64(h))
+	}
+	e.Bytes(t.localPHT)
+	for _, h := range t.globalHist {
+		e.U64(uint64(h))
+	}
+	e.Bytes(t.globalPHT)
+	e.Bytes(t.choice)
+}
+
+// LoadState restores a tournament predictor of identical geometry.
+func (t *Tournament) LoadState(d *snapshot.Decoder) {
+	d.Expect("bpred")
+	t.Lookups = d.U64()
+	t.Mispredicts = d.U64()
+	for i := range t.localHist {
+		t.localHist[i] = uint16(d.U64())
+	}
+	loadBytes(d, t.localPHT, "localPHT")
+	for i := range t.globalHist {
+		t.globalHist[i] = uint32(d.U64())
+	}
+	loadBytes(d, t.globalPHT, "globalPHT")
+	loadBytes(d, t.choice, "choice")
+}
+
+func loadBytes(d *snapshot.Decoder, dst []uint8, what string) {
+	b := d.Bytes()
+	if d.Err() != nil {
+		return
+	}
+	if len(b) != len(dst) {
+		d.Fail("bpred %s has %d entries, want %d", what, len(b), len(dst))
+		return
+	}
+	copy(dst, b)
+}
+
+// SaveState serializes the BTB's ways in flat-array order.
+func (b *BTB) SaveState(e *snapshot.Encoder) {
+	e.Mark("btb")
+	e.U64(b.Hits)
+	e.U64(b.Misses)
+	e.U64s(b.tags)
+	e.U64s(b.tgts)
+	e.Bools(b.valid)
+	e.Bytes(b.lru)
+}
+
+// LoadState restores a BTB of identical geometry.
+func (b *BTB) LoadState(d *snapshot.Decoder) {
+	d.Expect("btb")
+	b.Hits = d.U64()
+	b.Misses = d.U64()
+	tags := d.U64s()
+	tgts := d.U64s()
+	valid := d.Bools()
+	if d.Err() != nil {
+		return
+	}
+	if len(tags) != len(b.tags) || len(tgts) != len(b.tgts) || len(valid) != len(b.valid) {
+		d.Fail("btb geometry mismatch")
+		return
+	}
+	copy(b.tags, tags)
+	copy(b.tgts, tgts)
+	copy(b.valid, valid)
+	loadBytes(d, b.lru, "btb lru")
+}
+
+// SaveState serializes the return address stack.
+func (r *RAS) SaveState(e *snapshot.Encoder) {
+	e.Mark("ras")
+	e.Int(r.tos)
+	e.U64s(r.entries)
+}
+
+// LoadState restores a RAS of identical depth.
+func (r *RAS) LoadState(d *snapshot.Decoder) {
+	d.Expect("ras")
+	r.tos = d.Int()
+	entries := d.U64s()
+	if d.Err() != nil {
+		return
+	}
+	if len(entries) != len(r.entries) {
+		d.Fail("ras has %d entries, want %d", len(entries), len(r.entries))
+		return
+	}
+	copy(r.entries, entries)
+}
+
+// CkptState is a RASCheckpoint's serializable image.
+type CkptState struct {
+	TOS    int
+	TopVal uint64
+}
+
+// State exports a RASCheckpoint for serialization.
+func (c RASCheckpoint) State() CkptState { return CkptState{TOS: c.tos, TopVal: c.topVal} }
+
+// CheckpointFromState rebuilds a RASCheckpoint.
+func CheckpointFromState(s CkptState) RASCheckpoint {
+	return RASCheckpoint{tos: s.TOS, topVal: s.TopVal}
+}

@@ -28,6 +28,12 @@ type MSHREntry struct {
 	AcksLeft  int  // eager-exclusive replies: invalidation acks still due
 	Waiters   []interface{}
 
+	// Gen is a file-wide allocation generation, unique per Alloc. Retry
+	// timers that captured an entry pointer use it to check, across a
+	// snapshot/restore boundary, that the entry they find is the same
+	// allocation they were armed for and not a later reuse of the slot.
+	Gen uint64
+
 	inUse     bool
 	storeSlot bool // occupying the dedicated retiring-store entry
 }
@@ -40,6 +46,7 @@ type MSHRFile struct {
 	general          []MSHREntry
 	storeEntry       MSHREntry
 	protocolReserved bool
+	allocSeq         uint64
 
 	AllocFails uint64
 }
@@ -110,17 +117,19 @@ func (f *MSHRFile) Alloc(lineAddr uint64, exclusive bool, class MSHRClass) *MSHR
 		f.AllocFails++
 		return nil
 	}
+	f.allocSeq++
 	if class == ClassStoreRetire && !f.storeEntry.inUse {
 		f.storeEntry = MSHREntry{
 			LineAddr: lineAddr, Exclusive: exclusive, Class: class,
-			inUse: true, storeSlot: true,
+			Gen: f.allocSeq, inUse: true, storeSlot: true,
 		}
 		return &f.storeEntry
 	}
 	for i := range f.general {
 		if !f.general[i].inUse {
 			f.general[i] = MSHREntry{
-				LineAddr: lineAddr, Exclusive: exclusive, Class: class, inUse: true,
+				LineAddr: lineAddr, Exclusive: exclusive, Class: class,
+				Gen: f.allocSeq, inUse: true,
 			}
 			return &f.general[i]
 		}

@@ -94,8 +94,12 @@ func (c Config) Canonical() ([]byte, error) {
 		ff(d.CPUGHz), ff(d.Scale), d.Seed, d.SizeFor)
 	fmt.Fprintf(&b, `,"max_cycles":%d,"tweak":%q,"protocol":%q`,
 		uint64(d.MaxCycles), d.Tweak, d.Proto)
-	fmt.Fprintf(&b, `,"metrics_interval":%d,"metrics_depth":%d,"reference_kernel":%v}`,
-		uint64(d.MetricsInterval), d.MetricsDepth, d.ReferenceKernel)
+	fmt.Fprintf(&b, `,"metrics_interval":%d,"metrics_depth":%d`,
+		uint64(d.MetricsInterval), d.MetricsDepth)
+	// Sampling is part of the identity: unlike Shards, it changes the
+	// simulated outcome, so it must change the hash.
+	fmt.Fprintf(&b, `,"sample_period":%d,"sample_window":%d,"reference_kernel":%v}`,
+		d.SamplePeriod, uint64(d.SampleWindow), d.ReferenceKernel)
 	return b.Bytes(), nil
 }
 
@@ -132,6 +136,8 @@ type configJSON struct {
 	Proto           *string  `json:"protocol"`
 	MetricsInterval *uint64  `json:"metrics_interval"`
 	MetricsDepth    *int     `json:"metrics_depth"`
+	SamplePeriod    *uint64  `json:"sample_period"`
+	SampleWindow    *uint64  `json:"sample_window"`
 	ReferenceKernel *bool    `json:"reference_kernel"`
 
 	// Shards is accepted on input as a convenience (an experiment spec may
@@ -200,6 +206,12 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 	}
 	if in.MetricsDepth != nil {
 		out.MetricsDepth = *in.MetricsDepth
+	}
+	if in.SamplePeriod != nil {
+		out.SamplePeriod = *in.SamplePeriod
+	}
+	if in.SampleWindow != nil {
+		out.SampleWindow = Cycle(*in.SampleWindow)
 	}
 	if in.ReferenceKernel != nil {
 		out.ReferenceKernel = *in.ReferenceKernel

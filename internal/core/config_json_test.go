@@ -22,7 +22,8 @@ func TestCanonicalGolden(t *testing.T) {
 	want := `{"app":"FFT","model":"SMTp","nodes":4,"app_threads":1` +
 		`,"cpu_ghz":2,"scale":0.25,"seed":42,"size_for":4` +
 		`,"max_cycles":300000000,"tweak":"","protocol":"base"` +
-		`,"metrics_interval":0,"metrics_depth":0,"reference_kernel":false}`
+		`,"metrics_interval":0,"metrics_depth":0` +
+		`,"sample_period":0,"sample_window":0,"reference_kernel":false}`
 	if string(got) != want {
 		t.Fatalf("canonical encoding changed:\n got: %s\nwant: %s", got, want)
 	}

@@ -106,6 +106,19 @@ type Config struct {
 	// Series.Dropped counts them).
 	MetricsDepth int
 
+	// SamplePeriod, when non-zero, switches the run to sampled simulation
+	// (DESIGN.md §14): detailed windows of SampleWindow cycles alternate
+	// with fast-forward phases that functionally execute up to SamplePeriod
+	// instructions per application thread — branch predictors train and
+	// synchronization resolves, but no cycles pass and caches stay cold.
+	// Unlike Shards below, sampling changes the simulated outcome, so both
+	// sampling fields are part of the canonical form and the hash.
+	SamplePeriod uint64
+	// SampleWindow is the detailed-window length between fast-forward
+	// phases. It must be a positive multiple of 256 (the engine's batch
+	// quantum) exactly when SamplePeriod is set, and zero otherwise.
+	SampleWindow sim.Cycle
+
 	// ReferenceKernel runs on the naive always-tick simulation kernel
 	// instead of the cycle-skipping one. Results are observably identical
 	// (pinned by TestKernelDifferential); this exists as the differential
@@ -160,6 +173,12 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("config: negative Shards %d", c.Shards)
+	}
+	if (c.SamplePeriod > 0) != (c.SampleWindow > 0) {
+		return fmt.Errorf("config: SamplePeriod (%d) and SampleWindow (%d) must be set together", c.SamplePeriod, c.SampleWindow)
+	}
+	if c.SampleWindow < 0 || c.SampleWindow%256 != 0 {
+		return fmt.Errorf("config: SampleWindow %d must be a non-negative multiple of 256", c.SampleWindow)
 	}
 	if _, err := lookupTweak(c.Tweak); err != nil {
 		return err
@@ -321,9 +340,23 @@ func RunWorkloadContext(ctx context.Context, cfg Config, w *workload.Workload) *
 		return &Result{Cfg: cfg, Err: err}
 	}
 	start := time.Now() //simlint:allow determinism -- host-side wall-time observability; never feeds simulated state
-	// Resolve the named selectors; the deprecated func/pointer fields win
-	// when both forms are set (documented precedence of the shim). Names
-	// passed Validate above, so the lookups cannot fail here.
+	m := buildMachine(cfg)
+	workload.Attach(m, w)
+	cycles, done := driveMachine(ctx, cfg, m)
+	r := harvest(cfg, m, cycles, done)
+	r.SkippedCycles = m.SkippedCycles()
+	if !done && ctx.Err() != nil {
+		r.Err = ctx.Err()
+	}
+	observe(r, start)
+	return r
+}
+
+// buildMachine constructs the simulated machine for a defaulted config.
+// The deprecated func/pointer fields win over the named selectors when
+// both forms are set (documented precedence of the shim); names passed
+// Validate, so the lookups cannot fail here.
+func buildMachine(cfg Config) *machine.Machine {
 	tweak := cfg.PipeTweak
 	if tweak == nil {
 		tweak, _ = lookupTweak(cfg.Tweak)
@@ -334,7 +367,7 @@ func RunWorkloadContext(ctx context.Context, cfg Config, w *workload.Workload) *
 			protocol = factory()
 		}
 	}
-	m := machine.New(machine.Config{
+	return machine.New(machine.Config{
 		Model:          cfg.Model,
 		Nodes:          cfg.Nodes,
 		AppThreads:     cfg.AppThreads,
@@ -347,15 +380,34 @@ func RunWorkloadContext(ctx context.Context, cfg Config, w *workload.Workload) *
 
 		ReferenceKernel: cfg.ReferenceKernel,
 	})
-	workload.Attach(m, w)
-	cycles, done := m.RunContext(ctx, cfg.MaxCycles)
-	r := harvest(cfg, m, cycles, done)
-	r.SkippedCycles = m.SkippedCycles()
-	if !done && ctx.Err() != nil {
-		r.Err = ctx.Err()
+}
+
+// driveMachine runs an attached machine to completion, cancellation, or
+// the cycle budget. Under sampled simulation (SamplePeriod > 0) it
+// alternates detailed windows with functional fast-forward phases; the
+// reported cycle count covers only the detailed windows, since no
+// simulated time passes while fast-forwarding.
+func driveMachine(ctx context.Context, cfg Config, m *machine.Machine) (sim.Cycle, bool) {
+	if cfg.SamplePeriod == 0 {
+		return m.RunContext(ctx, cfg.MaxCycles)
 	}
-	observe(r, start)
-	return r
+	var cycles sim.Cycle
+	for cycles < cfg.MaxCycles && ctx.Err() == nil {
+		win := cfg.SampleWindow
+		if rem := cfg.MaxCycles - cycles; win > rem {
+			win = rem
+		}
+		ran, done := m.RunContext(ctx, win)
+		cycles += ran
+		if done {
+			return cycles, true
+		}
+		// A fast-forward that consumes nothing is fine: the remaining
+		// streams are drained or waiting on in-flight detailed work, and
+		// the next detailed window moves that along.
+		m.FastForward(cfg.SamplePeriod)
+	}
+	return cycles, false
 }
 
 // observe fills the Result's host-side observability fields: wall time,

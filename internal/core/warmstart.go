@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"smtpsim/internal/workload"
+)
+
+// Warm-start sweep forking (DESIGN.md §14). Sweep variants that share a
+// resume key — same workload and machine shape, differing only in shard
+// count and cycle budget — execute the same setup-phase prefix in every
+// run. RunWarmSweep simulates that shared prefix once per group, forks the
+// resulting checkpoint to every variant, and fans the remainders across
+// the worker pool, so the prefix cost is paid once instead of once per
+// variant while every result stays byte-identical to its full run.
+
+// CaptureCheckpoint is CaptureCheckpointContext with a background context.
+func CaptureCheckpoint(cfg Config, at Cycle) (*Checkpoint, *Result, error) {
+	return CaptureCheckpointContext(context.Background(), cfg, at)
+}
+
+// CaptureCheckpointContext runs cfg from cycle zero only as far as the
+// first SnapshotAlign multiple >= at and captures a checkpoint there,
+// without continuing to completion (RunWithSnapshotContext does that). The
+// returned Result describes the prefix leg only — it is not a completed
+// run unless the simulation finished before the capture point, in which
+// case the checkpoint is nil. The same configs that RunWithSnapshotContext
+// rejects (sampled, unhashable) are rejected here.
+func CaptureCheckpointContext(ctx context.Context, cfg Config, at Cycle) (*Checkpoint, *Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, &Result{Cfg: cfg, Err: err}, err
+	}
+	if c.SamplePeriod > 0 {
+		err := fmt.Errorf("core: sampled runs cannot be checkpointed")
+		return nil, &Result{Cfg: cfg, Err: err}, err
+	}
+	if _, err := c.Canonical(); err != nil {
+		return nil, &Result{Cfg: cfg, Err: err}, err
+	}
+	if at <= 0 {
+		err := fmt.Errorf("core: snapshot cycle %d must be positive", at)
+		return nil, &Result{Cfg: cfg, Err: err}, err
+	}
+	at = (at + SnapshotAlign - 1) &^ (SnapshotAlign - 1)
+	return captureCheckpoint(ctx, c, BuildWorkload(c), at)
+}
+
+// captureCheckpoint is the prefix leg on an already-defaulted config, a
+// pre-built workload, and an already-aligned capture cycle.
+func captureCheckpoint(ctx context.Context, c Config, w *workload.Workload, at Cycle) (*Checkpoint, *Result, error) {
+	start := time.Now() //simlint:allow determinism -- host-side wall-time observability; never feeds simulated state
+	m := buildMachine(c)
+	workload.Attach(m, w)
+	leg := at
+	if leg > c.MaxCycles {
+		leg = c.MaxCycles
+	}
+	cycles, done := m.RunContext(ctx, leg)
+	var ck *Checkpoint
+	if !done && ctx.Err() == nil && cycles == at {
+		data, serr := m.Snapshot()
+		if serr != nil {
+			return nil, &Result{Cfg: c, Err: serr}, serr
+		}
+		ck = &Checkpoint{Cfg: c, At: at, Data: data}
+	}
+	r := harvest(c, m, cycles, done)
+	r.SkippedCycles = m.SkippedCycles()
+	if !done && ctx.Err() != nil {
+		r.Err = ctx.Err()
+	}
+	observe(r, start)
+	return ck, r, nil
+}
+
+// RunWarmSweep runs every config of a sweep, detecting runs that share a
+// common prefix: configs with equal resume keys (everything but the shard
+// count and the cycle budget identical) describe the same simulation up to
+// any cycle, so each such group's setup phase is simulated once,
+// checkpointed at prefixAt (rounded up to SnapshotAlign), and every member
+// resumes from the fork instead of re-running the prefix. Members that
+// cannot fork — sampled configs (their interleaved warming is not in the
+// envelope), unhashable configs, budgets below the capture cycle, or
+// groups whose run completes before the capture point — fall back to full
+// runs, still sharing the group's workload. Results come back in input
+// order and are byte-identical to full runs of every member (pinned by
+// TestWarmSweepMatchesFullRuns).
+func (s Suite) RunWarmSweep(prefixAt Cycle, cfgs []Config) []*Result {
+	ctx := s.ctx()
+	if prefixAt > 0 {
+		prefixAt = (prefixAt + SnapshotAlign - 1) &^ (SnapshotAlign - 1)
+	}
+
+	type group struct {
+		members []int
+		cfg     Config // defaulted first-member config; the capture runs it
+		w       *workload.Workload
+		ck      *Checkpoint
+	}
+	keys := make([]string, len(cfgs))
+	groups := make(map[string]*group)
+	var order []string
+	if prefixAt > 0 {
+		for i, cfg := range cfgs {
+			if cfg.SamplePeriod > 0 {
+				continue // sampled runs cannot fork; they run in full below
+			}
+			d, err := cfg.withDefaults()
+			if err != nil {
+				continue // the full run fails with the same error
+			}
+			key, err := resumeKey(d)
+			if err != nil {
+				continue
+			}
+			g := groups[key]
+			if g == nil {
+				g = &group{cfg: d}
+				groups[key] = g
+				order = append(order, key)
+			} else if d.MaxCycles > g.cfg.MaxCycles {
+				// The capture must fit the largest member budget; budgets
+				// are outside the resume key, so this cannot change the
+				// prefix itself.
+				g.cfg.MaxCycles = d.MaxCycles
+			}
+			keys[i] = key
+			g.members = append(g.members, i)
+		}
+	}
+
+	// Phase 1: one prefix capture per multi-member group, fanned over the
+	// same pool (progress observers see the capture legs too).
+	var capJobs []Job
+	for _, key := range order {
+		g := groups[key]
+		if len(g.members) < 2 {
+			continue
+		}
+		g.w = BuildWorkload(g.cfg)
+		capJobs = append(capJobs, Job{Cfg: g.cfg, Fn: func(ctx context.Context) *Result {
+			ck, r, _ := captureCheckpoint(ctx, g.cfg, g.w, prefixAt)
+			g.ck = ck
+			return r
+		}})
+	}
+	if len(capJobs) > 0 {
+		Runner{Workers: s.Workers, OnProgress: s.Progress}.RunBatch(ctx, capJobs)
+	}
+
+	// Phase 2: fork where a checkpoint exists, full runs otherwise.
+	jobs := make([]Job, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg := cfg
+		g := groups[keys[i]]
+		if g != nil && g.ck != nil {
+			if d, err := cfg.withDefaults(); err == nil && d.MaxCycles >= g.ck.At {
+				ck := g.ck
+				jobs[i] = Job{Cfg: cfg, Fn: func(ctx context.Context) *Result {
+					return ResumeSnapshotContext(ctx, cfg, ck)
+				}}
+				continue
+			}
+		}
+		var w *workload.Workload
+		if g != nil {
+			w = g.w
+		}
+		jobs[i] = Job{Cfg: cfg, Workload: w}
+	}
+	return s.batch(jobs)
+}

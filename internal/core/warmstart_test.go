@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestWarmSweepMatchesFullRuns pins the warm-start forking invariant: a
+// sweep whose variants share a prefix (equal resume keys) produces results
+// byte-identical to full runs of every variant, while the progress stream
+// shows the prefix was simulated once per group, not once per member.
+func TestWarmSweepMatchesFullRuns(t *testing.T) {
+	var cfgs []Config
+	for _, app := range []App{FFT, Radix} {
+		for _, shards := range []int{0, 2, 4} {
+			cfgs = append(cfgs, Config{
+				Model: SMTp, App: app, Nodes: 4, AppThreads: 1,
+				Scale: 0.25, Seed: 42, Shards: shards,
+			})
+		}
+	}
+	// A sampled singleton rides along: it cannot fork and must fall back to
+	// an (identical) full run.
+	cfgs = append(cfgs, Config{
+		Model: SMTp, App: FFT, Nodes: 4, AppThreads: 1,
+		Scale: 0.25, Seed: 42, SamplePeriod: 2000, SampleWindow: 4096,
+	})
+
+	oracles := make([][]byte, len(cfgs))
+	minCycles := Cycle(1) << 62
+	for i, cfg := range cfgs {
+		r := Run(cfg)
+		oracles[i] = ckptJSON(t, fmt.Sprintf("oracle %d", i), r)
+		if r.Cycles < minCycles {
+			minCycles = r.Cycles
+		}
+	}
+	prefixAt := (minCycles / 2) &^ (SnapshotAlign - 1)
+	if prefixAt < SnapshotAlign {
+		t.Skipf("runs too short (min %d cycles) to fork mid-flight", minCycles)
+	}
+
+	var mu sync.Mutex
+	observed := 0
+	s := Suite{Workers: 2, Progress: func(Progress) {
+		mu.Lock()
+		observed++
+		mu.Unlock()
+	}}
+	res := s.RunWarmSweep(prefixAt, cfgs)
+	for i := range cfgs {
+		got := ckptJSON(t, fmt.Sprintf("warm %d", i), res[i])
+		if !bytes.Equal(got, oracles[i]) {
+			t.Errorf("variant %d diverges from its full run:\n%s", i, firstJSONDiff(got, oracles[i]))
+		}
+	}
+	// Two forked groups (FFT, Radix) cost one capture each; the sampled
+	// singleton and the six members account for the rest.
+	if want := 2 + len(cfgs); observed != want {
+		t.Errorf("progress observed %d runs, want %d (2 captures + %d members)",
+			observed, want, len(cfgs))
+	}
+}
+
+// TestWarmSweepFallsBackWhenPrefixTooLate: a capture point beyond the end
+// of the run yields no checkpoint, and the sweep silently degrades to full
+// runs with unchanged results.
+func TestWarmSweepFallsBackWhenPrefixTooLate(t *testing.T) {
+	cfgs := []Config{
+		{Model: SMTp, App: FFT, Nodes: 4, AppThreads: 1, Scale: 0.25, Seed: 42},
+		{Model: SMTp, App: FFT, Nodes: 4, AppThreads: 1, Scale: 0.25, Seed: 42, Shards: 2},
+	}
+	oracles := make([][]byte, len(cfgs))
+	for i, cfg := range cfgs {
+		oracles[i] = ckptJSON(t, fmt.Sprintf("oracle %d", i), Run(cfg))
+	}
+	res := Suite{Workers: 1}.RunWarmSweep(Cycle(1)<<30, cfgs)
+	for i := range cfgs {
+		got := ckptJSON(t, fmt.Sprintf("fallback %d", i), res[i])
+		if !bytes.Equal(got, oracles[i]) {
+			t.Errorf("variant %d diverges from its full run:\n%s", i, firstJSONDiff(got, oracles[i]))
+		}
+	}
+}
+
+// TestCaptureCheckpointPrefixOnly pins CaptureCheckpoint semantics: the
+// returned Result covers exactly the (aligned) prefix leg, is not a
+// completed run, and the checkpoint resumes into the full-run oracle.
+func TestCaptureCheckpointPrefixOnly(t *testing.T) {
+	cfg := Config{Model: SMTp, App: FFT, Nodes: 4, AppThreads: 1, Scale: 0.25, Seed: 42}
+	oracle := ckptJSON(t, "oracle", Run(cfg))
+
+	ck, r, err := CaptureCheckpoint(cfg, SnapshotAlign+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	if want := Cycle(2 * SnapshotAlign); ck.At != want {
+		t.Fatalf("capture at cycle %d, want alignment up to %d", ck.At, want)
+	}
+	if r.Completed {
+		t.Fatal("prefix leg reported as a completed run")
+	}
+	if r.Cycles != ck.At {
+		t.Fatalf("prefix leg ran %d cycles, want %d", r.Cycles, ck.At)
+	}
+	got := ckptJSON(t, "resumed", ResumeSnapshot(cfg, ck))
+	if !bytes.Equal(got, oracle) {
+		t.Fatalf("resume from captured prefix diverges:\n%s", firstJSONDiff(got, oracle))
+	}
+}

@@ -13,6 +13,9 @@ import (
 // when its body
 //
 //   - calls into internal/sim (event scheduling),
+//   - calls into internal/snapshot (the encoder is an append-only
+//     stream, so call order is the wire format — snapshot encoders must
+//     iterate dense tables, never maps),
 //   - performs I/O (fmt printing, Write*/Encode/Flush method calls),
 //   - returns a value (e.g. the first fmt.Errorf wins — which one is
 //     "first" depends on map order),
@@ -142,6 +145,9 @@ func callRisk(mod *Module, pkg *Package, call *ast.CallExpr) (mapRisk, bool) {
 	}
 	if obj.Pkg().Path() == mod.Path+"/internal/sim" {
 		return mapRisk{call.Pos(), "calls into the event engine (" + obj.Name() + ")", nil}, true
+	}
+	if obj.Pkg().Path() == mod.Path+"/internal/snapshot" {
+		return mapRisk{call.Pos(), "writes to the snapshot stream (" + obj.Name() + ")", nil}, true
 	}
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if _, isMethod := pkg.Info.Selections[sel]; isMethod {

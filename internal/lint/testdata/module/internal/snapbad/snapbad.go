@@ -1,0 +1,56 @@
+// Package snapbad seeds map-range bodies that write to the snapshot
+// stream — the wire format would follow random map order — alongside the
+// sanctioned dense-table and sorted-keys encodings that must stay silent.
+package snapbad
+
+import (
+	"sort"
+
+	"fixture/internal/snapshot"
+)
+
+// EncodeMap streams a map in iteration order; the bytes differ run to run.
+func EncodeMap(m map[uint64]uint64) []byte {
+	e := snapshot.NewEncoder()
+	for k, v := range m { // want maporder
+		e.U64(k)
+		e.U64(v)
+	}
+	return e.Finish()
+}
+
+// EncodeDense streams a dense table; not a finding.
+func EncodeDense(rows []uint64) []byte {
+	e := snapshot.NewEncoder()
+	for _, v := range rows {
+		e.U64(v)
+	}
+	return e.Finish()
+}
+
+// EncodeSorted collects and sorts the keys before streaming; not a
+// finding.
+func EncodeSorted(m map[uint64]uint64) []byte {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e := snapshot.NewEncoder()
+	for _, k := range keys {
+		e.U64(k)
+		e.U64(m[k])
+	}
+	return e.Finish()
+}
+
+// BuildInMapOrder constructs a stream header inside a map range even
+// without touching an Encoder method; any call into the codec package is
+// order-sensitive.
+func BuildInMapOrder(m map[string]int) []*snapshot.Encoder {
+	var out []*snapshot.Encoder
+	for range m { // want maporder
+		out = append(out, snapshot.NewEncoder())
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package snapshot mirrors the repository's snapshot codec shape for the
+// maporder analyzer: the encoder is an append-only stream, so every call
+// into this package from a map-range body makes random iteration order
+// part of the wire format.
+package snapshot
+
+import "time"
+
+// Encoder mirrors the append-only stream encoder; each method call
+// appends bytes, so call order is the serialized format.
+type Encoder struct{ buf []byte }
+
+// NewEncoder starts a stream.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// U64 appends one value.
+func (e *Encoder) U64(v uint64) { e.buf = append(e.buf, byte(v)) }
+
+// Finish returns the stream.
+func (e *Encoder) Finish() []byte { return e.buf }
+
+// Stamp is exactly what a snapshot codec must never do — the determinism
+// analyzer covers this package like every other internal package.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want determinism
+}

@@ -279,15 +279,26 @@ func New(cfg Config) *Machine {
 			Protocol:   cfg.Protocol,
 		}))
 	}
-	if nsh > 1 {
-		// Keyed scheduling: tag every clocked component with its global
-		// serial position (node order x components per node) so events carry
-		// provenance keys and cross-shard replay can interleave deliveries in
-		// the exact order a serial run would produce.
-		compsPerNode := m.shards[0].eng.NumClocked() / m.nodesPS
-		for _, s := range m.shards {
-			s.eng.EnableKeys(uint64(compsPerNode * s.lo))
+	// Keyed scheduling: tag every clocked component with its global serial
+	// position (node order x components per node) so events carry provenance
+	// keys. Sharded machines need the keys for cross-shard replay to
+	// interleave deliveries in the exact order a serial run would produce;
+	// serial machines enable them too (a no-op for ordering — single-engine
+	// keyed order equals the classic FIFO) so snapshots taken at any shard
+	// count carry position keys that restore portably at any other
+	// (DESIGN.md §14). The reference kernel stays unkeyed: it is never
+	// snapshotted and EnableKeys panics on it by design.
+	if !cfg.ReferenceKernel {
+		if nsh > 1 {
+			compsPerNode := m.shards[0].eng.NumClocked() / m.nodesPS
+			for _, s := range m.shards {
+				s.eng.EnableKeys(uint64(compsPerNode * s.lo))
+			}
+		} else {
+			m.Eng.EnableKeys(0)
 		}
+	}
+	if nsh > 1 {
 		m.ShardReg = stats.NewRegistry()
 		sc := m.ShardReg.Scope("shard")
 		sc.CounterFunc("quanta", func() uint64 { return m.quanta })

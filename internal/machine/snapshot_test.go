@@ -1,0 +1,243 @@
+package machine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smtpsim/internal/addrmap"
+	"smtpsim/internal/isa"
+	"smtpsim/internal/sim"
+)
+
+// sharingMachine reproduces the TestFourNodesSharingAllModels workload:
+// a store phase, a barrier, then remote reads of the neighbour's slice.
+func sharingMachine(model Model) *Machine {
+	m := New(Config{Model: model, Nodes: 4, AppThreads: 1})
+	m.Sync.DefineBarrier(0, 4)
+	shared := uint64(0)
+	for g := 0; g < 4; g++ {
+		var ins []isa.Instr
+		for i := 0; i < 8; i++ {
+			a := shared + uint64(g)*1024 + uint64(i)*128
+			ins = append(ins, isa.Instr{Op: isa.OpStore, Src1: 1, Addr: a, Size: 8})
+		}
+		ins = append(ins, isa.Instr{Op: isa.OpSyncWait, SyncTok: BarrierToken(0, 0)})
+		nb := (g + 1) % 4
+		for i := 0; i < 8; i++ {
+			a := shared + uint64(nb)*1024 + uint64(i)*128
+			ins = append(ins, isa.Instr{Op: isa.OpLoad, Dst: 1, Addr: a, Size: 8})
+		}
+		m.SetSource(g, &sliceSource{ins: seqPCs(addrmap.AppCodeBase+uint64(g)*0x100000, ins)})
+	}
+	return m
+}
+
+// lockMachine reproduces the TestLocksSerializeCriticalSections workload.
+func lockMachine() *Machine {
+	m := New(Config{Model: SMTp, Nodes: 2, AppThreads: 2})
+	lockLine := uint64(addrmap.PageSize)
+	counter := uint64(0)
+	for g := 0; g < 4; g++ {
+		var ins []isa.Instr
+		for it := uint64(0); it < 3; it++ {
+			inst := uint64(g)*100 + it
+			ins = append(ins,
+				isa.Instr{Op: isa.OpLoad, Dst: 1, Addr: lockLine, Size: 8},
+				isa.Instr{Op: isa.OpSyncWait, SyncTok: LockAcqToken(3, inst)},
+				isa.Instr{Op: isa.OpStore, Src1: 1, Addr: lockLine, Size: 8},
+				isa.Instr{Op: isa.OpLoad, Dst: 2, Addr: counter, Size: 8},
+				isa.Instr{Op: isa.OpIntALU, Dst: 3, Src1: 2},
+				isa.Instr{Op: isa.OpStore, Src1: 3, Addr: counter, Size: 8},
+				isa.Instr{Op: isa.OpStore, Src1: 1, Addr: lockLine, Size: 8},
+				isa.Instr{Op: isa.OpSyncWait, SyncTok: LockRelToken(3, inst)},
+			)
+		}
+		m.SetSource(g, &sliceSource{ins: seqPCs(addrmap.AppCodeBase+uint64(g)*0x100000, ins)})
+	}
+	return m
+}
+
+// migratoryMachine reproduces the TestMigratoryLineStress workload: every
+// thread read-modify-writes one hot line.
+func migratoryMachine(model Model) *Machine {
+	m := New(Config{Model: model, Nodes: 4, AppThreads: 1})
+	hot := uint64(2 * addrmap.PageSize)
+	for g := 0; g < 4; g++ {
+		var ins []isa.Instr
+		for i := 0; i < 12; i++ {
+			ins = append(ins,
+				isa.Instr{Op: isa.OpLoad, Dst: 1, Addr: hot, Size: 8},
+				isa.Instr{Op: isa.OpStore, Src1: 1, Addr: hot, Size: 8},
+			)
+		}
+		m.SetSource(g, &sliceSource{ins: seqPCs(addrmap.AppCodeBase+uint64(g)*0x100000, ins)})
+	}
+	return m
+}
+
+// Snapshot restore targets need positioned sources; give the test stream
+// the two extra methods.
+func (s *sliceSource) Pos() int     { return s.pos }
+func (s *sliceSource) SetPos(p int) { s.pos = p }
+
+// metricsJSON renders the machine's full deterministic metric snapshot.
+func metricsJSON(t *testing.T, m *Machine) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	return buf.String()
+}
+
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return la[i] + " != " + lb[i]
+		}
+	}
+	return "length mismatch"
+}
+
+// snapshotDiff is the machine-level differential harness. It runs build()
+// to completion uninterrupted, then re-runs with a snapshot taken at an
+// aligned mid-point and continues, and finally restores that snapshot into
+// a third freshly built machine. All three executions must end with
+// byte-identical metric snapshots and the same cycle count, and the
+// restored machine's immediate re-snapshot must be byte-identical to the
+// original snapshot bytes.
+func snapshotDiff(t *testing.T, build func() *Machine, budget sim.Cycle) {
+	t.Helper()
+
+	// Reference: uninterrupted run.
+	m0 := build()
+	c0, done := m0.Run(budget)
+	if !done {
+		t.Fatalf("reference run did not complete in %d cycles", budget)
+	}
+	// Capture metrics before the coherence walk: CheckCoherence itself
+	// performs directory accesses that bump the dir.* counters.
+	ref := metricsJSON(t, m0)
+	if err := m0.CheckCoherence(); err != nil {
+		t.Fatalf("reference coherence: %v", err)
+	}
+
+	at := (c0 / 2) &^ (SnapshotAlign - 1)
+	if at == 0 {
+		at = SnapshotAlign
+	}
+	if at >= c0 {
+		t.Skipf("run too short (%d cycles) to snapshot mid-flight", c0)
+	}
+
+	// Split run: snapshot at the mid-point, then continue in place.
+	m1 := build()
+	if ran, done := m1.Run(at); done || ran != at {
+		t.Fatalf("split run: ran %d done=%v, want to pause at %d", ran, done, at)
+	}
+	snap, err := m1.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot at %d: %v", at, err)
+	}
+	c1, done := m1.Run(budget)
+	if !done {
+		t.Fatalf("split run did not complete")
+	}
+	if at+c1 != c0 {
+		t.Fatalf("split run finished at %d, reference at %d", at+c1, c0)
+	}
+	if got := metricsJSON(t, m1); got != ref {
+		t.Fatalf("split-run metrics diverge from reference: %s", firstDiff(got, ref))
+	}
+
+	// Restore into a fresh machine and resume.
+	m2 := build()
+	if err := m2.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	// A snapshot must round-trip exactly: restore followed by an immediate
+	// re-snapshot reproduces the original bytes.
+	snap2, err := m2.Snapshot()
+	if err != nil {
+		t.Fatalf("re-snapshot after restore: %v", err)
+	}
+	if !bytes.Equal(snap, snap2) {
+		i := 0
+		for i < len(snap) && i < len(snap2) && snap[i] == snap2[i] {
+			i++
+		}
+		t.Fatalf("snapshot round-trip differs at byte %d of %d/%d", i, len(snap), len(snap2))
+	}
+	c2, done := m2.Run(budget)
+	if !done {
+		t.Fatalf("restored run did not complete")
+	}
+	if at+c2 != c0 {
+		t.Fatalf("restored run finished at %d, reference at %d", at+c2, c0)
+	}
+	if got := metricsJSON(t, m2); got != ref {
+		t.Fatalf("restored-run metrics diverge from reference: %s", firstDiff(got, ref))
+	}
+	if err := m2.CheckCoherence(); err != nil {
+		t.Fatalf("restored coherence: %v", err)
+	}
+}
+
+func TestSnapshotDiffPrivateAllModels(t *testing.T) {
+	for _, model := range Models() {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			snapshotDiff(t, func() *Machine {
+				m := New(Config{Model: model, Nodes: 1, AppThreads: 1})
+				m.SetSource(0, &sliceSource{ins: privateStream(0, 40)})
+				return m
+			}, 2_000_000)
+		})
+	}
+}
+
+func TestSnapshotDiffSharingAllModels(t *testing.T) {
+	for _, model := range Models() {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			snapshotDiff(t, func() *Machine { return sharingMachine(model) }, 5_000_000)
+		})
+	}
+}
+
+func TestSnapshotDiffLocks(t *testing.T) {
+	snapshotDiff(t, lockMachine, 10_000_000)
+}
+
+func TestSnapshotDiffMigratory(t *testing.T) {
+	for _, model := range []Model{Int512KB, SMTp} {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			snapshotDiff(t, func() *Machine { return migratoryMachine(model) }, 10_000_000)
+		})
+	}
+}
+
+func TestSnapshotRejectsUnaligned(t *testing.T) {
+	m := New(Config{Model: SMTp, Nodes: 1, AppThreads: 1})
+	m.SetSource(0, &sliceSource{ins: privateStream(0, 40)})
+	if ran, done := m.Run(100); done || ran != 100 {
+		t.Fatalf("ran %d done=%v, want paused at 100", ran, done)
+	}
+	if _, err := m.Snapshot(); err == nil {
+		t.Fatal("snapshot at unaligned cycle must fail")
+	}
+}
+
+func TestSnapshotRejectsReferenceKernel(t *testing.T) {
+	m := New(Config{Model: SMTp, Nodes: 1, AppThreads: 1, ReferenceKernel: true})
+	m.SetSource(0, &sliceSource{ins: privateStream(0, 40)})
+	if _, err := m.Snapshot(); err == nil {
+		t.Fatal("snapshot of a reference-kernel machine must fail")
+	}
+	if err := m.Restore(nil); err == nil {
+		t.Fatal("restore into a reference-kernel machine must fail")
+	}
+}

@@ -1,0 +1,53 @@
+package machine
+
+// warmChunk bounds how many instructions one thread consumes per
+// fast-forward turn. Interleaving in small fixed chunks keeps lock-queue
+// and barrier arrival orders deterministic and fair without simulating
+// time.
+const warmChunk = 64
+
+// FastForward functionally executes up to perThread stream instructions on
+// every application thread without advancing simulated time: sources jump
+// ahead, branch predictors and BTBs train on the skipped outcomes, and
+// synchronization operations take effect through the machine's sync
+// manager so barriers and locks resolve among the skipping threads.
+// Detailed state — caches, directories, in-flight uops, pending events —
+// is untouched; the next detailed window continues from the same simulated
+// cycle on the fast-forwarded streams.
+//
+// Threads take turns in global-thread order, warmChunk instructions per
+// turn; a thread parked at an unsatisfied sync wait skips its turn until
+// another thread's arrival releases it. The walk stops when every budget
+// is spent or no thread can make progress (remaining threads are drained
+// or waiting on in-flight detailed work). Returns the total instructions
+// consumed.
+func (m *Machine) FastForward(perThread uint64) uint64 {
+	g := m.GlobalThreads()
+	left := make([]uint64, g)
+	for i := range left {
+		left[i] = perThread
+	}
+	var total uint64
+	for {
+		progressed := false
+		for gtid := 0; gtid < g; gtid++ {
+			if left[gtid] == 0 {
+				continue
+			}
+			chunk := left[gtid]
+			if chunk > warmChunk {
+				chunk = warmChunk
+			}
+			pipe := m.Nodes[gtid/m.Cfg.AppThreads].Pipe
+			n, _ := pipe.WarmStream(gtid%m.Cfg.AppThreads, chunk)
+			left[gtid] -= n
+			total += n
+			if n > 0 {
+				progressed = true
+			}
+		}
+		if !progressed {
+			return total
+		}
+	}
+}

@@ -58,7 +58,7 @@ func (f *fire) exec() {
 			// Non-integrated controller: the refill crosses the system bus
 			// before reaching the processor. Same record, second leg.
 			f.crossed = true
-			mc.eng.After(extra, f.run)
+			mc.eng.AfterDesc(extra, mc.fireDesc(f), f.run)
 			return
 		}
 		line, st, acks, upgrade := f.line, f.st, f.acks, f.upgrade

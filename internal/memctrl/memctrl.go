@@ -219,7 +219,7 @@ func (mc *MC) EnqueueLocalPI(t uint8, line uint64) bool {
 func (mc *MC) enqueueLocalReady(m *network.Message) {
 	if mc.cfg.PIExtraCycles > 0 {
 		// Non-integrated controller: the request crosses the system bus.
-		mc.eng.After(mc.cfg.PIExtraCycles, func() { mc.localDeferred(m) })
+		mc.eng.AfterDesc(mc.cfg.PIExtraCycles, mc.deferredDesc(m), func() { mc.localDeferred(m) })
 		mc.local = append(mc.local, nil) // hold the slot while in transit
 		return
 	}
@@ -281,8 +281,9 @@ func (mc *MC) sdramWrite() {
 
 // ProtocolMiss services an SMTp protocol-thread L2 miss over the separate
 // protocol bus, bypassing the local miss interface (§2.1). cb runs when the
-// line arrives.
-func (mc *MC) ProtocolMiss(line uint64, cb func()) {
+// line arrives; d is the caller's restore descriptor for the completion
+// event (the pipeline owns the closure, so it owns the descriptor too).
+func (mc *MC) ProtocolMiss(line uint64, d sim.Desc, cb func()) {
 	now := mc.eng.Now()
 	start := now
 	if mc.protoBusy > start {
@@ -295,7 +296,7 @@ func (mc *MC) ProtocolMiss(line uint64, cb func()) {
 	}
 	mc.protoBusy = start + xfer
 	mc.ProtoMisses++
-	mc.eng.Schedule(ready, cb)
+	mc.eng.ScheduleDesc(ready, d, cb)
 }
 
 // pick selects the next message to dispatch: replies first (they always
@@ -483,7 +484,7 @@ func (mc *MC) fireWhenReady(needsMem bool, addr uint64, f *fire) {
 		f.exec()
 		return
 	}
-	mc.eng.Schedule(ready, f.run)
+	mc.eng.ScheduleDesc(ready, mc.fireDesc(f), f.run)
 }
 
 // ProtoBusBusyUntil exposes the protocol bus reservation (debug aid).

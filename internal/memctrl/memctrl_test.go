@@ -295,8 +295,8 @@ func TestProtocolMissSeparateBus(t *testing.T) {
 	r := newRig(t, 1, defCfg())
 	mc := r.mcs[0]
 	var done []sim.Cycle
-	mc.ProtocolMiss(addrmap.DirBase, func() { done = append(done, r.eng.Now()) })
-	mc.ProtocolMiss(addrmap.DirBase+128, func() { done = append(done, r.eng.Now()) })
+	mc.ProtocolMiss(addrmap.DirBase, sim.Desc{}, func() { done = append(done, r.eng.Now()) })
+	mc.ProtocolMiss(addrmap.DirBase+128, sim.Desc{}, func() { done = append(done, r.eng.Now()) })
 	r.run(1000)
 	if len(done) != 2 {
 		t.Fatal("protocol misses did not complete")

@@ -195,7 +195,7 @@ func (n *Network) Send(m *Message) {
 	if m.Src == m.Dst {
 		// MC loopback (e.g. home == requester replies to itself) does not
 		// traverse the router.
-		n.eng.Schedule(now+n.cfg.LocalLoop, n.deliveryFn(m))
+		n.eng.ScheduleDesc(now+n.cfg.LocalLoop, deliverDesc(m), n.deliveryFn(m))
 		return
 	}
 
@@ -217,7 +217,7 @@ func (n *Network) Send(m *Message) {
 
 	// Head latency over the hops plus injection and ejection serialization.
 	done := t + 2*ser + sim.Cycle(n.Hops(m.Src, m.Dst))*n.cfg.HopCycles
-	n.eng.Schedule(done, n.deliveryFn(m))
+	n.eng.ScheduleDesc(done, deliverDesc(m), n.deliveryFn(m))
 }
 
 // delivery is a pooled pending-arrival record. The callback handed to the

@@ -74,7 +74,7 @@ func (e *Endpoint) Send(m *Message) {
 	e.Sent++
 	e.BytesSent += uint64(m.Bytes())
 	if m.Src == m.Dst {
-		e.eng.Schedule(e.eng.Now()+e.net.cfg.LocalLoop, e.deliveryFn(m))
+		e.eng.ScheduleDesc(e.eng.Now()+e.net.cfg.LocalLoop, deliverDesc(m), e.deliveryFn(m))
 		return
 	}
 	e.seq++
@@ -177,7 +177,7 @@ func (n *Network) ReplayStaged(epOf func(addrmap.NodeID) *Endpoint) int {
 		t = n.reserveLink(n.ejBase+int(m.Dst), t, ser)
 		done := t + 2*ser + sim.Cycle(n.Hops(m.Src, m.Dst))*n.cfg.HopCycles
 		to := epOf(m.Dst)
-		to.eng.ScheduleKeyed(done, s.pos, to.deliveryFn(m))
+		to.eng.ScheduleKeyedDesc(done, s.pos, deliverDesc(m), to.deliveryFn(m))
 		s.m = nil
 	}
 	replayed := len(buf)

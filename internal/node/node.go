@@ -89,6 +89,7 @@ func New(cfg Config) *Node {
 		n.MC.SetTable(cfg.Protocol)
 	}
 	n.Pipe = pipeline.New(cfg.PipeCfg, cfg.Engine, (*downstream)(n), (*syncAdapter)(n))
+	n.Pipe.SetOwner(int32(cfg.ID))
 	if cfg.PPCfg != nil {
 		n.PP = memctrl.NewPPBackend(*cfg.PPCfg, n.MC)
 		n.MC.SetBackend(n.PP)
@@ -202,12 +203,14 @@ func (d *downstream) EnqueueLocal(t uint8, line uint64) bool {
 	return d.MC.EnqueueLocalPI(t, line)
 }
 
-func (d *downstream) ProtocolMiss(line uint64, cb func()) { d.MC.ProtocolMiss(line, cb) }
+func (d *downstream) ProtocolMiss(line uint64, dc sim.Desc, cb func()) {
+	d.MC.ProtocolMiss(line, dc, cb)
+}
 
-func (d *downstream) IMiss(line uint64, cb func()) {
+func (d *downstream) IMiss(line uint64, dc sim.Desc, cb func()) {
 	// Application instruction fills come from the local memory image
 	// (read-only, replicated code pages) without coherence involvement.
-	d.eng.After(d.imissCyc, cb)
+	d.eng.AfterDesc(d.imissCyc, dc, cb)
 }
 
 func (d *downstream) FireEffect(p interface{}) { d.MC.FireEffect(p) }

@@ -99,7 +99,7 @@ func TestIMissTiming(t *testing.T) {
 	n, eng, _ := buildNode(t, 0, 2, false)
 	d := (*downstream)(n)
 	done := sim.Cycle(0)
-	d.IMiss(0x1000, func() { done = eng.Now() })
+	d.IMiss(0x1000, sim.Desc{}, func() { done = eng.Now() })
 	for i := 0; i < 1000 && done == 0; i++ {
 		eng.Step()
 	}

@@ -204,34 +204,46 @@ func (p *Pipeline) ifetchHit(t *thread, pc uint64, now sim.Cycle) bool {
 		return true
 	}
 	t.fetchBlockedICM = true
-	fill := func() {
-		if t.isProtocol && p.protoIConflict(line) {
-			p.ibyp.Fill(line, cache.Shared)
-			p.BypassFills++
-		} else {
-			p.l1i.Fill(line, cache.Shared)
-		}
-		t.streamLine = line
-		t.fetchBlockedICM = false
-	}
 	// L2 (and its bypass buffer) backs the I-cache.
 	if p.l2.Access(pc) != nil || (t.isProtocol && p.l2byp.Access(pc) != nil) {
-		p.after(sim.Cycle(p.cfg.L2HitCyc), fill)
+		p.afterDesc(sim.Cycle(p.cfg.L2HitCyc), p.iFillDesc(t.id, line),
+			func() { p.iFill(t.id, line) })
 		return false
 	}
 	l2line := p.l2.LineAddr(pc)
-	fillL2 := func() {
-		if t.isProtocol && p.protoL2Conflict(l2line) {
-			p.fillL2Bypass(l2line, cache.Shared)
-		} else {
-			p.evictAwareL2Fill(l2line, cache.Shared)
-		}
-		fill()
-	}
 	if t.isProtocol {
-		p.down.ProtocolMiss(l2line, p.settled(fillL2))
+		p.down.ProtocolMiss(l2line, p.iFillL2Desc(t.id, line, l2line),
+			p.settled(func() { p.iFillL2(t.id, line, l2line) }))
 	} else {
-		p.down.IMiss(l2line, p.settled(fillL2))
+		p.down.IMiss(l2line, p.iFillL2Desc(t.id, line, l2line),
+			p.settled(func() { p.iFillL2(t.id, line, l2line) }))
 	}
 	return false
+}
+
+// iFill completes an instruction-cache fill for a thread's blocked fetch:
+// the line lands in the L1I (or, for a conflicting protocol fill, the
+// I-bypass buffer) and the thread resumes streaming from it.
+func (p *Pipeline) iFill(tid int, line uint64) {
+	t := p.threads[tid]
+	if t.isProtocol && p.protoIConflict(line) {
+		p.ibyp.Fill(line, cache.Shared)
+		p.BypassFills++
+	} else {
+		p.l1i.Fill(line, cache.Shared)
+	}
+	t.streamLine = line
+	t.fetchBlockedICM = false
+}
+
+// iFillL2 completes an instruction fill that also missed the L2: install
+// the L2 line first, then the L1I subline.
+func (p *Pipeline) iFillL2(tid int, line, l2line uint64) {
+	t := p.threads[tid]
+	if t.isProtocol && p.protoL2Conflict(l2line) {
+		p.fillL2Bypass(l2line, cache.Shared)
+	} else {
+		p.evictAwareL2Fill(l2line, cache.Shared)
+	}
+	p.iFill(tid, line)
 }

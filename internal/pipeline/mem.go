@@ -90,7 +90,7 @@ func (p *Pipeline) handleL2Eviction(ev cache.Line) {
 func (p *Pipeline) sendPI(t coherence.MsgType, line uint64) {
 	if !p.down.EnqueueLocal(uint8(t), line) {
 		p.SendPISpins++
-		p.after(4, func() { p.sendPI(t, line) })
+		p.afterDesc(4, p.sendPIDesc(t, line), func() { p.sendPI(t, line) })
 	}
 }
 
@@ -196,39 +196,49 @@ func (p *Pipeline) protoL2Miss(u *uop, line uint64, addr uint64, isStore bool) {
 	if e == nil {
 		// Reserved entry is in use; retry shortly.
 		p.ProtoRetrySpins++
-		p.after(2, func() { p.protoL2Miss(u, line, addr, isStore) })
+		p.afterDesc(2, p.protoRetryDesc(u, line, addr, isStore),
+			func() { p.protoL2Miss(u, line, addr, isStore) })
 		return
 	}
 	if u != nil {
 		u.waitingMem = true
 		e.Waiters = append(e.Waiters, u)
 	}
-	p.down.ProtocolMiss(line, p.settled(func() {
-		st := cache.Exclusive
-		if addrmap.IsDirectory(line) {
-			st = cache.Modified // local-only data, writable immediately
-		}
-		if p.protoL2Conflict(line) {
-			p.fillL2Bypass(line, st)
-		} else {
-			p.evictAwareL2Fill(line, st)
-		}
-		now := p.eng.Now()
-		for _, w := range e.Waiters {
-			switch v := w.(type) {
-			case *uop:
-				if v.squashed {
-					p.freeUop(v) // last reference was the waiter list
-					continue
-				}
-				p.fillL1DProto(addr)
-				p.loadDone(v, now+1)
-			case *storeEntry:
-				p.performStore(v)
+	p.down.ProtocolMiss(line, p.protoDoneDesc(line, addr),
+		p.settled(func() { p.protoMissDone(line, addr) }))
+}
+
+// protoMissDone completes a protocol-thread L2 miss: the line is installed,
+// waiters finish, and the MSHR entry frees. The entry is re-found by line
+// rather than captured: protocol entries are freed only by their own
+// completion, so the line maps uniquely back to the allocation — which lets
+// a snapshot rebuild this event from (line, addr) alone.
+func (p *Pipeline) protoMissDone(line, addr uint64) {
+	e := p.mshr.Find(line)
+	st := cache.Exclusive
+	if addrmap.IsDirectory(line) {
+		st = cache.Modified // local-only data, writable immediately
+	}
+	if p.protoL2Conflict(line) {
+		p.fillL2Bypass(line, st)
+	} else {
+		p.evictAwareL2Fill(line, st)
+	}
+	now := p.eng.Now()
+	for _, w := range e.Waiters {
+		switch v := w.(type) {
+		case *uop:
+			if v.squashed {
+				p.freeUop(v) // last reference was the waiter list
+				continue
 			}
+			p.fillL1DProto(addr)
+			p.loadDone(v, now+1)
+		case *storeEntry:
+			p.performStore(v)
 		}
-		p.mshr.Free(e)
-	}))
+	}
+	p.mshr.Free(e)
 }
 
 // fillL1D installs the L1D subline for addr (after an L2 hit or refill).
@@ -370,11 +380,19 @@ func (p *Pipeline) DeliverNak(line uint64) {
 		return
 	}
 	e.Issued = false
-	p.after(sim.Cycle(p.cfg.NakBackoff), func() {
-		if cur := p.mshr.Find(line); cur == e && !e.Issued {
-			p.issueMissRequest(e)
-		}
-	})
+	gen := e.Gen
+	p.afterDesc(sim.Cycle(p.cfg.NakBackoff), p.nakRetryDesc(line, gen),
+		func() { p.nakRetry(line, gen) })
+}
+
+// nakRetry re-issues a NAKed transaction unless the entry it was armed for
+// is gone (refill arrived during backoff) or a newer request already issued.
+// The allocation generation — not the entry pointer — identifies the
+// transaction, so the check survives snapshot/restore and slot reuse.
+func (p *Pipeline) nakRetry(line, gen uint64) {
+	if cur := p.mshr.Find(line); cur != nil && cur.Gen == gen && !cur.Issued {
+		p.issueMissRequest(cur)
+	}
 }
 
 // DeliverIAck counts one invalidation acknowledgment (they may arrive
@@ -508,17 +526,31 @@ func (p *Pipeline) drainProtoStore(e *storeEntry, addr uint64) {
 	e.pending = true
 	p.protoL2Miss(nil, line, addr, true)
 	// protoL2Miss fills the cache; complete the store when the line lands.
-	lineCopy := line
-	var poll func()
-	poll = func() {
-		if p.l2.Probe(lineCopy) != nil || p.l2byp.Probe(lineCopy) != nil {
-			p.performStore(e)
-			return
+	p.afterDesc(4, p.storePollDesc(e.u.seq, line), func() { p.storePoll(e.u.seq, line) })
+}
+
+// storePoll completes a draining protocol store once its line has landed in
+// the L2 (or its bypass buffer). The entry is re-found in the store buffer
+// by its uop's sequence number — the poll is the entry's sole completer
+// (protoL2Miss registered no waiter for it), so a missing entry means only
+// that a snapshot restored a poll whose store already performed.
+func (p *Pipeline) storePoll(uopSeq, line uint64) {
+	var e *storeEntry
+	for _, s := range p.storeBuf {
+		if s.u.seq == uopSeq {
+			e = s
+			break
 		}
-		p.StorePollSpins++
-		p.after(4, poll)
 	}
-	p.after(4, poll)
+	if e == nil {
+		return
+	}
+	if p.l2.Probe(line) != nil || p.l2byp.Probe(line) != nil {
+		p.performStore(e)
+		return
+	}
+	p.StorePollSpins++
+	p.afterDesc(4, p.storePollDesc(uopSeq, line), func() { p.storePoll(uopSeq, line) })
 }
 
 // performStore writes a (committed) store's data into the hierarchy and

@@ -101,10 +101,10 @@ type Downstream interface {
 	// message from its pool only once the queue has room.
 	EnqueueLocal(t uint8, line uint64) bool
 	// ProtocolMiss services an SMTp protocol-thread L2 miss on the separate
-	// protocol bus.
-	ProtocolMiss(line uint64, cb func())
+	// protocol bus. d describes the completion event for snapshots.
+	ProtocolMiss(line uint64, d sim.Desc, cb func())
 	// IMiss fills an application instruction line from local memory.
-	IMiss(line uint64, cb func())
+	IMiss(line uint64, d sim.Desc, cb func())
 	// FireEffect applies a protocol-trace instruction payload (SMTp only).
 	FireEffect(payload interface{})
 }
@@ -187,10 +187,11 @@ const (
 
 // Pipeline is one node's processor core.
 type Pipeline struct {
-	cfg  Config
-	eng  *sim.Engine
-	down Downstream
-	sync SyncChecker
+	cfg   Config
+	eng   *sim.Engine
+	down  Downstream
+	sync  SyncChecker
+	owner int32 // node id stamped into event descriptors
 
 	pred *bpred.Tournament
 	btb  *bpred.BTB
@@ -248,6 +249,10 @@ type Pipeline struct {
 	blockedLines []uint64
 
 	seq uint64
+
+	// restoreUops indexes restored uops by sequence number between LoadState
+	// and FinishRestore, so event rehydration can resolve uop references.
+	restoreUops map[uint64]*uop
 
 	// Statistics.
 	Cycles          uint64
@@ -390,6 +395,11 @@ func (p *Pipeline) SetSource(tid int, src InstrSource) {
 	p.threads[tid].source = src
 }
 
+// Source returns the instruction source installed for a hardware context
+// (nil before attachment; the snapshot layer uses it to save stream
+// positions alongside the pipeline state).
+func (p *Pipeline) Source(tid int) InstrSource { return p.threads[tid].source }
+
 // SetTraceRelease installs the callback that reclaims a protocol handler's
 // trace buffer once its trailing ldctxt graduates.
 func (p *Pipeline) SetTraceRelease(fn func([]isa.Instr)) { p.traceRelease = fn }
@@ -522,6 +532,18 @@ func (p *Pipeline) after(d sim.Cycle, fn func()) {
 		fn()
 	})
 }
+
+// afterDesc is after with a snapshot descriptor attached to the event.
+func (p *Pipeline) afterDesc(d sim.Cycle, desc sim.Desc, fn func()) {
+	p.eng.AfterDesc(d, desc, func() {
+		p.extInput()
+		fn()
+	})
+}
+
+// SetOwner records the owning node's id; it is stamped into every event
+// descriptor the core schedules so a snapshot can route the event back.
+func (p *Pipeline) SetOwner(o int32) { p.owner = o }
 
 // settled wraps a callback handed to the downstream memory system so it
 // re-enters through extInput when the miss resolves.

@@ -50,9 +50,9 @@ func (d *mockDown) EnqueueLocal(t uint8, line uint64) bool {
 	}
 	return true
 }
-func (d *mockDown) ProtocolMiss(line uint64, cb func()) { d.eng.After(d.delay, cb) }
-func (d *mockDown) IMiss(line uint64, cb func())        { d.eng.After(d.delay, cb) }
-func (d *mockDown) FireEffect(p interface{})            { d.fired = append(d.fired, p) }
+func (d *mockDown) ProtocolMiss(line uint64, dc sim.Desc, cb func()) { d.eng.After(d.delay, cb) }
+func (d *mockDown) IMiss(line uint64, dc sim.Desc, cb func())        { d.eng.After(d.delay, cb) }
+func (d *mockDown) FireEffect(p interface{})                         { d.fired = append(d.fired, p) }
 
 type alwaysSync struct{ ready bool }
 

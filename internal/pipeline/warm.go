@@ -1,0 +1,43 @@
+package pipeline
+
+import "smtpsim/internal/isa"
+
+// WarmStream functionally consumes up to n instructions from thread tid's
+// source without simulating timing: branch outcomes train the direction
+// predictor and BTB, synchronization waits poll the sync interface (the
+// stream stops at an unsatisfied wait), and every other instruction is
+// skipped outright. This is the fast-forward phase of sampled simulation
+// (DESIGN.md §14). Caches are deliberately left cold: a warm fill would
+// need coherence traffic that only the detailed model can order.
+//
+// It returns how many instructions were consumed and whether the stream is
+// parked at an unsatisfied synchronization wait (as opposed to exhausted
+// or out of budget).
+func (p *Pipeline) WarmStream(tid int, n uint64) (consumed uint64, blocked bool) {
+	t := p.threads[tid]
+	src := t.source
+	if src == nil {
+		return 0, false
+	}
+	for consumed < n {
+		in := src.Peek()
+		if in == nil {
+			return consumed, false
+		}
+		switch in.Op {
+		case isa.OpSyncWait:
+			if p.sync == nil || !p.sync.SyncPoll(t.id, in.SyncTok) {
+				return consumed, true
+			}
+		case isa.OpBranch:
+			pr := p.pred.Predict(t.id, in.PC)
+			p.pred.Update(t.id, pr, in.Taken)
+			if in.Taken {
+				p.btb.Insert(in.PC, in.Target)
+			}
+		}
+		src.Advance()
+		consumed++
+	}
+	return consumed, false
+}

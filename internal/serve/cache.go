@@ -2,7 +2,12 @@ package serve
 
 import (
 	"container/list"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
+
+	"smtpsim/internal/snapshot"
 )
 
 // cached is everything the server retains about one finished run: the
@@ -24,14 +29,21 @@ func (c *cached) size() int64 { return int64(len(c.Body) + len(c.Events)) }
 // — eviction exists only to bound memory, LRU by bytes. A hit therefore
 // serves the exact bytes a fresh simulation would produce, which is what
 // turns cache hit rate into service throughput.
+//
+// With a dir set, the store also persists every entry to a
+// content-addressed file <dir>/<key>.res (the key is the canonical config
+// hash, so the filename is the content address) and reloads them on boot:
+// results survive restarts. Disk mirrors memory — eviction removes the
+// entry's file too — so the directory never outgrows the byte bound.
 type resultCache struct {
 	mu       sync.Mutex
 	maxBytes int64
 	bytes    int64
+	dir      string     // "" = memory only
 	ll       *list.List // front = most recently used
 	byKey    map[string]*list.Element
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, loaded uint64
 }
 
 type cacheEntry struct {
@@ -39,12 +51,87 @@ type cacheEntry struct {
 	val *cached
 }
 
+// cacheFileMark tags persisted entries inside the versioned snapshot
+// container format.
+const cacheFileMark = "rcach"
+
+// encode renders the entry for its on-disk file.
+func (c *cached) encode() []byte {
+	e := snapshot.NewEncoder()
+	e.Mark(cacheFileMark)
+	e.Bytes(c.Body)
+	e.Bytes(c.Events)
+	e.U64(c.Cycles)
+	e.Bool(c.Completed)
+	return e.Finish()
+}
+
+// decodeCached parses an on-disk entry written by encode.
+func decodeCached(b []byte) (*cached, error) {
+	d, err := snapshot.NewDecoder(b)
+	if err != nil {
+		return nil, err
+	}
+	d.Expect(cacheFileMark)
+	v := &cached{}
+	v.Body = d.Bytes()
+	v.Events = d.Bytes()
+	v.Cycles = d.U64()
+	v.Completed = d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
 // newResultCache builds a store bounded to maxBytes of result bodies.
-func newResultCache(maxBytes int64) *resultCache {
-	return &resultCache{
+// A non-empty dir makes the store persistent: existing entries under it
+// are reloaded immediately (in filename order, subject to the byte bound).
+func newResultCache(maxBytes int64, dir string) *resultCache {
+	c := &resultCache{
 		maxBytes: maxBytes,
+		dir:      dir,
 		ll:       list.New(),
 		byKey:    make(map[string]*list.Element),
+	}
+	if dir != "" {
+		c.loadDir()
+	}
+	return c
+}
+
+func (c *resultCache) fileFor(key string) string {
+	return filepath.Join(c.dir, key+".res")
+}
+
+// loadDir repopulates the cache from its directory at boot. Files load in
+// filename order (os.ReadDir sorts), so the rebuilt LRU order is
+// deterministic; undecodable files are removed rather than served. Runs
+// before the cache is published, so no lock is held.
+func (c *resultCache) loadDir() {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".res") {
+			continue
+		}
+		path := filepath.Join(c.dir, de.Name())
+		var val *cached
+		b, err := os.ReadFile(path)
+		if err == nil {
+			val, err = decodeCached(b)
+		}
+		if err != nil {
+			os.Remove(path) // corrupt or truncated: drop, never serve garbage
+			continue
+		}
+		c.put(strings.TrimSuffix(de.Name(), ".res"), val, false)
+		c.loaded++
 	}
 }
 
@@ -69,17 +156,27 @@ func (c *resultCache) Get(key string) (*cached, bool) {
 // joined by another); re-putting an existing key is a no-op — deterministic
 // runs make any second value byte-identical to the first.
 func (c *resultCache) Put(key string, val *cached) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, val, true)
+}
+
+// put inserts and evicts; persist writes the entry's file (loadDir passes
+// false: its files are already on disk). File writes are best-effort — a
+// failure only costs warm-boot state, never the in-memory entry.
+func (c *resultCache) put(key string, val *cached, persist bool) {
 	n := val.size()
 	if n > c.maxBytes {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, dup := c.byKey[key]; dup {
 		return
 	}
 	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
 	c.bytes += n
+	if persist && c.dir != "" {
+		os.WriteFile(c.fileFor(key), val.encode(), 0o644)
+	}
 	for c.bytes > c.maxBytes {
 		back := c.ll.Back()
 		if back == nil {
@@ -90,6 +187,9 @@ func (c *resultCache) Put(key string, val *cached) {
 		delete(c.byKey, ent.key)
 		c.bytes -= ent.val.size()
 		c.evictions++
+		if c.dir != "" {
+			os.Remove(c.fileFor(ent.key)) // keep disk mirroring memory
+		}
 	}
 }
 
@@ -99,3 +199,7 @@ func (c *resultCache) Stats() (hits, misses, evictions uint64, entries int, byte
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions, c.ll.Len(), c.bytes
 }
+
+// LoadedFromDisk reports how many entries boot reloaded; immutable after
+// construction.
+func (c *resultCache) LoadedFromDisk() uint64 { return c.loaded }

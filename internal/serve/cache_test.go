@@ -3,6 +3,9 @@ package serve
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -11,7 +14,7 @@ func entry(n int) *cached {
 }
 
 func TestCacheHitMissCounters(t *testing.T) {
-	c := newResultCache(1 << 20)
+	c := newResultCache(1<<20, "")
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("hit on empty cache")
 	}
@@ -27,7 +30,7 @@ func TestCacheHitMissCounters(t *testing.T) {
 }
 
 func TestCacheEvictsLRUByBytes(t *testing.T) {
-	c := newResultCache(30)
+	c := newResultCache(30, "")
 	c.Put("a", entry(10))
 	c.Put("b", entry(10))
 	c.Put("c", entry(10))
@@ -48,7 +51,7 @@ func TestCacheEvictsLRUByBytes(t *testing.T) {
 }
 
 func TestCacheEvictsSeveralForOneLargeEntry(t *testing.T) {
-	c := newResultCache(30)
+	c := newResultCache(30, "")
 	for i := 0; i < 3; i++ {
 		c.Put(fmt.Sprintf("k%d", i), entry(10))
 	}
@@ -63,7 +66,7 @@ func TestCacheEvictsSeveralForOneLargeEntry(t *testing.T) {
 }
 
 func TestCacheSkipsOversizedEntry(t *testing.T) {
-	c := newResultCache(30)
+	c := newResultCache(30, "")
 	c.Put("a", entry(10))
 	c.Put("huge", entry(31))
 	if _, ok := c.Get("huge"); ok {
@@ -75,7 +78,7 @@ func TestCacheSkipsOversizedEntry(t *testing.T) {
 }
 
 func TestCacheDuplicatePutIsNoop(t *testing.T) {
-	c := newResultCache(100)
+	c := newResultCache(100, "")
 	c.Put("a", entry(10))
 	c.Put("a", entry(20)) // deterministic runs: second body is the same run
 	v, ok := c.Get("a")
@@ -89,7 +92,7 @@ func TestCacheDuplicatePutIsNoop(t *testing.T) {
 }
 
 func TestCacheEventsCountTowardBytes(t *testing.T) {
-	c := newResultCache(30)
+	c := newResultCache(30, "")
 	c.Put("a", &cached{Body: make([]byte, 10), Events: make([]byte, 15)})
 	_, _, _, _, bytes := c.Stats()
 	if bytes != 25 {
@@ -98,5 +101,106 @@ func TestCacheEventsCountTowardBytes(t *testing.T) {
 	c.Put("b", entry(10)) // 25+10 > 30: must evict "a"
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("entry with events not evicted despite byte budget")
+	}
+}
+
+// TestCachePersistsAndReloads: with a directory, every field of an entry
+// survives a restart byte-for-byte, and the reload is counted.
+func TestCachePersistsAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	c := newResultCache(1<<20, dir)
+	val := &cached{Body: []byte(`{"r":1}`), Events: []byte("e1\ne2\n"), Cycles: 4242, Completed: true}
+	c.Put("a1b2c3d4e5f60718", val)
+
+	c2 := newResultCache(1<<20, dir)
+	got, ok := c2.Get("a1b2c3d4e5f60718")
+	if !ok {
+		t.Fatal("persisted entry missing after reboot")
+	}
+	if !bytes.Equal(got.Body, val.Body) || !bytes.Equal(got.Events, val.Events) ||
+		got.Cycles != val.Cycles || got.Completed != val.Completed {
+		t.Fatalf("reloaded entry differs: %+v vs %+v", got, val)
+	}
+	if c2.LoadedFromDisk() != 1 {
+		t.Fatalf("loaded = %d, want 1", c2.LoadedFromDisk())
+	}
+}
+
+// diskKeys lists the content-addressed files currently under dir.
+func diskKeys(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]bool)
+	for _, de := range des {
+		keys[strings.TrimSuffix(de.Name(), ".res")] = true
+	}
+	return keys
+}
+
+// TestCacheEvictionConsistentWithDisk pins the eviction-consistency
+// invariant: evicting an entry removes its file, so a reboot sees exactly
+// the surviving entries — never a resurrected evictee.
+func TestCacheEvictionConsistentWithDisk(t *testing.T) {
+	dir := t.TempDir()
+	c := newResultCache(30, dir)
+	c.Put("a", entry(10))
+	c.Put("b", entry(10))
+	c.Put("c", entry(10))
+	c.Get("a") // touch: "b" is now least recently used
+	c.Put("d", entry(10))
+
+	want := map[string]bool{"a": true, "c": true, "d": true}
+	if got := diskKeys(t, dir); len(got) != 3 || !got["a"] || !got["c"] || !got["d"] {
+		t.Fatalf("disk holds %v, want %v", got, want)
+	}
+
+	c2 := newResultCache(30, dir)
+	if _, ok := c2.Get("b"); ok {
+		t.Fatal("evicted entry resurrected by reboot")
+	}
+	for k := range want {
+		if _, ok := c2.Get(k); !ok {
+			t.Fatalf("surviving entry %q lost across reboot", k)
+		}
+	}
+}
+
+// TestCacheReloadRespectsBound: rebooting into a smaller budget evicts
+// during the load, and the evictions propagate to disk.
+func TestCacheReloadRespectsBound(t *testing.T) {
+	dir := t.TempDir()
+	c := newResultCache(1<<20, dir)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		c.Put(k, entry(10))
+	}
+	c2 := newResultCache(30, dir)
+	_, _, _, entries, bytes := c2.Stats()
+	if entries != 3 || bytes != 30 {
+		t.Fatalf("entries=%d bytes=%d after bounded reload, want 3/30", entries, bytes)
+	}
+	if got := diskKeys(t, dir); len(got) != 3 {
+		t.Fatalf("disk holds %d entries after bounded reload, want 3: %v", len(got), got)
+	}
+}
+
+// TestCacheCorruptFileDropped: an undecodable file is removed at boot, not
+// served.
+func TestCacheCorruptFileDropped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef.res"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := newResultCache(1<<20, dir)
+	if _, ok := c.Get("deadbeef"); ok {
+		t.Fatal("corrupt file served as a cache entry")
+	}
+	if c.LoadedFromDisk() != 0 {
+		t.Fatalf("loaded = %d, want 0", c.LoadedFromDisk())
+	}
+	if got := diskKeys(t, dir); got["deadbeef"] {
+		t.Fatal("corrupt file left on disk")
 	}
 }

@@ -48,6 +48,11 @@ type Options struct {
 	QueueDepth int
 	// CacheBytes bounds the result store; 0 means 256 MiB.
 	CacheBytes int64
+	// CacheDir, when set, persists the result store to content-addressed
+	// files under this directory and reloads them on boot, so cached
+	// results survive restarts. Eviction removes the evicted entry's file:
+	// disk always mirrors memory.
+	CacheDir string
 }
 
 func (o Options) workers() int {
@@ -92,7 +97,7 @@ type Server struct {
 // New builds a server and starts its worker pool.
 func New(opts Options) *Server {
 	s := &Server{
-		cache:    newResultCache(opts.cacheBytes()),
+		cache:    newResultCache(opts.cacheBytes(), opts.CacheDir),
 		inflight: make(map[string]*task),
 	}
 	s.sched = newScheduler(opts.workers(), opts.queueDepth(), s.execute)
@@ -110,6 +115,7 @@ func (s *Server) initStats() {
 	cs.CounterFunc("hits", func() uint64 { h, _, _, _, _ := s.cache.Stats(); return h })
 	cs.CounterFunc("misses", func() uint64 { _, m, _, _, _ := s.cache.Stats(); return m })
 	cs.CounterFunc("evictions", func() uint64 { _, _, e, _, _ := s.cache.Stats(); return e })
+	cs.CounterFunc("loaded", func() uint64 { return s.cache.LoadedFromDisk() })
 	cs.GaugeFunc("entries", func() float64 { _, _, _, n, _ := s.cache.Stats(); return float64(n) })
 	cs.GaugeFunc("bytes", func() float64 { _, _, _, _, b := s.cache.Stats(); return float64(b) })
 	qs := s.reg.Scope("queue")

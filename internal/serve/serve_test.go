@@ -113,6 +113,35 @@ func TestSubmitTwiceCacheHit(t *testing.T) {
 	}
 }
 
+// TestCacheSurvivesServerReboot: with CacheDir set, a result computed by
+// one server instance is a byte-identical cache hit on a fresh instance
+// pointed at the same directory — no re-simulation.
+func TestCacheSurvivesServerReboot(t *testing.T) {
+	dir := t.TempDir()
+	ts := httptest.NewServer(New(Options{Workers: 1, CacheDir: dir}).Handler())
+	r1, b1 := post(t, ts.URL+"/v1/runs", smallSpec)
+	if r1.StatusCode != http.StatusOK || r1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first submit: status %d, X-Cache %q", r1.StatusCode, r1.Header.Get("X-Cache"))
+	}
+	ts.Close()
+
+	ts2 := httptest.NewServer(New(Options{Workers: 1, CacheDir: dir}).Handler())
+	defer ts2.Close()
+	r2, b2 := post(t, ts2.URL+"/v1/runs", smallSpec)
+	if r2.StatusCode != http.StatusOK || r2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("submit after reboot: status %d, X-Cache %q", r2.StatusCode, r2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("rebooted cache hit differs from the original run")
+	}
+	if loaded := statValue(t, ts2.URL, "cache.loaded"); loaded != 1 {
+		t.Fatalf("cache.loaded = %v, want 1", loaded)
+	}
+	if done := statValue(t, ts2.URL, "runs.completed"); done != 0 {
+		t.Fatalf("runs.completed = %v on rebooted server, want 0 (must serve from disk)", done)
+	}
+}
+
 func TestEquivalentSpecsShareCacheEntry(t *testing.T) {
 	ts := httptest.NewServer(New(Options{Workers: 2}).Handler())
 	defer ts.Close()

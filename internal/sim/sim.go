@@ -80,6 +80,10 @@ type event struct {
 	pos [3]uint64
 	seq uint64
 	fn  func()
+	// desc, when valid, identifies the event for snapshot/restore (see
+	// Desc in state.go). Events scheduled without a descriptor cannot be
+	// exported; ExportState reports them as an error.
+	desc Desc
 }
 
 // eventLess orders events by due time, then scheduling context, then FIFO
@@ -442,6 +446,9 @@ func (e *Engine) siftDown(i int) {
 		i = m
 	}
 }
+
+// refPush inserts an event into the reference engine's boxed queue.
+func (e *Engine) refPush(ev event) { heap.Push(&e.refEvents, ev) }
 
 // Schedule runs fn at the given absolute cycle. Scheduling in the past (or
 // the current cycle, before events have drained) is an error that panics:

@@ -78,6 +78,16 @@ func (p *Peak) Samples() uint64 { return p.samples }
 // Reset clears all state.
 func (p *Peak) Reset() { *p = Peak{} }
 
+// State exposes the tracker's raw fields for snapshot serialization.
+func (p *Peak) State() (max int, samples, sum uint64) {
+	return p.max, p.samples, p.sum
+}
+
+// SetState restores the tracker's raw fields from a snapshot.
+func (p *Peak) SetState(max int, samples, sum uint64) {
+	p.max, p.samples, p.sum = max, samples, sum
+}
+
 // Ratio returns num/den as a float, or 0 when den == 0.
 func Ratio(num, den uint64) float64 {
 	if den == 0 {

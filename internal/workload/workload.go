@@ -132,6 +132,16 @@ func (s *SliceSource) Advance() { s.pos++ }
 // Done implements pipeline.InstrSource.
 func (s *SliceSource) Done() bool { return s.pos >= len(s.ins) }
 
+// Pos returns the number of consumed instructions (machine snapshots).
+func (s *SliceSource) Pos() int { return s.pos }
+
+// SetPos repositions the stream (machine restore). The sync-distance cache
+// is invalidated so the next SyncDistance rescans from the new position.
+func (s *SliceSource) SetPos(p int) {
+	s.pos = p
+	s.syncAt = -1
+}
+
 // SyncDistance implements pipeline.SyncDistancer: the number of not-yet-
 // consumed instructions before the next OpSyncWait, or -1 when none
 // remain. Amortized O(1): the scan position only moves forward.
