@@ -5,12 +5,13 @@
 # schema freshness, a one-rep smoke of the benchmark harness
 # (`make bench-json` is the full measurement), an end-to-end smoke of
 # the simulation service (`make serve-smoke`), a sharded-execution
-# smoke (`make shard-smoke`), and a checkpoint/restore smoke
+# smoke (`make shard-smoke`), a jittered barrier stress under the race
+# detector (`make shard-stress`), and a checkpoint/restore smoke
 # (`make snapshot-smoke`).
 
 GO ?= go
 
-.PHONY: all build test vet fmt test-race test-poolcheck lint lint-fix-list metrics-schema metrics-schema-check bench-json bench-smoke serve-smoke shard-smoke snapshot-smoke check
+.PHONY: all build test vet fmt test-race test-poolcheck lint lint-fix-list metrics-schema metrics-schema-check bench-json bench-smoke serve-smoke shard-smoke shard-stress snapshot-smoke check
 
 all: build
 
@@ -55,10 +56,11 @@ fmt:
 	fi
 
 # Benchmark record: the full root benchmark suite (3 reps, min kept, alloc
-# rates included, the BenchmarkWarmSweep_* full-vs-forked sweep pair)
-# against the PR 7 baseline in BENCH_7.json, written to BENCH_9.json.
+# rates included, the BenchmarkWarmSweep_* full-vs-forked sweep pair, the
+# per-config shard_serial_fraction section) against the PR 9 baseline in
+# BENCH_9.json, written to BENCH_10.json.
 bench-json:
-	$(GO) run ./cmd/benchjson -count 3 -baseline BENCH_7.json -out BENCH_9.json
+	$(GO) run ./cmd/benchjson -count 3 -baseline BENCH_9.json -out BENCH_10.json
 
 # Quick end-to-end sanity of the bench harness for `make check`: two small
 # benchmarks, one rep per kernel, result discarded.
@@ -71,6 +73,15 @@ bench-smoke:
 # (TestShardDifferential); this gate proves the flag works end to end.
 shard-smoke:
 	$(GO) run ./cmd/smtpsim -model SMTp -app fft -nodes 16 -way 2 -scale 0.25 -shards 4 >/dev/null
+
+# Jittered barrier stress under the race detector: the adaptive-quantum
+# tree-barrier handshake (DESIGN.md §13) across shard counts and
+# scheduling-jitter seeds, every run required byte-identical. This is the
+# gate for the lock-free release/park fast paths; it reruns the same test
+# the plain suite runs, but -race turns any missed happens-before edge in
+# the barrier into a hard failure instead of a silent coincidence.
+shard-stress:
+	$(GO) test -race -timeout 30m -count 1 -run TestShardQuantumBarrierStress ./internal/machine/
 
 # End-to-end smoke of checkpoint/restore (DESIGN.md §14): capture a
 # checkpoint mid-run through the real CLI, restore it at a different shard
@@ -95,4 +106,4 @@ metrics-schema:
 metrics-schema-check:
 	$(GO) run ./cmd/metricsdoc -check
 
-check: fmt vet lint build test test-poolcheck test-race metrics-schema-check bench-smoke serve-smoke shard-smoke snapshot-smoke
+check: fmt vet lint build test test-poolcheck test-race metrics-schema-check bench-smoke serve-smoke shard-smoke shard-stress snapshot-smoke

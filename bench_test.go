@@ -206,6 +206,40 @@ func BenchmarkShard32Node_Shards1(b *testing.B) { benchShardPoint(b, 32, 1) }
 func BenchmarkShard32Node_Shards2(b *testing.B) { benchShardPoint(b, 32, 2) }
 func BenchmarkShard32Node_Shards4(b *testing.B) { benchShardPoint(b, 32, 4) }
 
+// The sync-heavy pinned point: Water's inner loops barrier and lock far
+// more often than FFT's, so this configuration is the stress case for the
+// coordinator's serial fraction — every unpolled SyncWait used to collapse
+// the window to lockstep, and the ROB-bounded horizon plus adaptive quanta
+// (DESIGN.md §13) are what keep it parallel. cmd/benchjson reports its
+// shard.serial_cycles split in BENCH_10.json's shard_serial_fraction
+// section.
+
+func benchShardSyncPoint(b *testing.B, shards int) {
+	cfg := core.Config{
+		Model: core.SMTp, App: core.Water, Nodes: 32, AppThreads: 1,
+		Scale: 0.125, Seed: 42, Shards: shards,
+	}
+	w := core.BuildWorkload(cfg)
+	for i := 0; i < b.N; i++ {
+		r := core.RunWorkload(cfg, w)
+		if !r.Completed {
+			b.Fatal("sharded run did not complete")
+		}
+		if r.CoherenceErr != nil {
+			b.Fatalf("sharded run: %v", r.CoherenceErr)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(r.Cycles), "sim-cycles")
+			if sm := r.ShardMetrics; sm != nil {
+				b.ReportMetric(float64(sm.Uint("shard.serial_cycles")), "serial-cycles")
+			}
+		}
+	}
+}
+
+func BenchmarkShard32NodeSync_Shards1(b *testing.B) { benchShardSyncPoint(b, 1) }
+func BenchmarkShard32NodeSync_Shards4(b *testing.B) { benchShardSyncPoint(b, 4) }
+
 // Warm-start sweep forking (DESIGN.md §14) — the same shard-count sweep
 // run both ways: every variant simulated in full, and the variants forked
 // from one shared prefix checkpoint at half the run. The simulated results

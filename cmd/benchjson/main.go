@@ -1,13 +1,24 @@
 // Command benchjson measures the repository's root benchmark suite and
-// records the result as BENCH_9.json: wall time and allocation rate per
-// benchmark, plus the speedup over the baseline recorded in BENCH_7.json.
-// The suite now includes the BenchmarkWarmSweep_* pair — the same
-// shard-count sweep run in full and forked from one shared prefix
-// checkpoint (DESIGN.md §14) — and the record reports their wall-time
-// ratio as warm_sweep_speedup: how much the warm-start fork saves on the
-// measuring host by simulating the common prefix once instead of once per
-// variant. Each record also pins the host's core count and GOMAXPROCS,
-// since every wall-time figure here depends on both.
+// records the result as BENCH_10.json: wall time and allocation rate per
+// benchmark, plus the speedup over the baseline recorded in BENCH_9.json.
+// The suite includes the BenchmarkWarmSweep_* pair — the same shard-count
+// sweep run in full and forked from one shared prefix checkpoint
+// (DESIGN.md §14) — and the record reports their wall-time ratio as
+// warm_sweep_speedup: how much the warm-start fork saves on the measuring
+// host by simulating the common prefix once instead of once per variant.
+// Each record also pins the host's core count and GOMAXPROCS, since every
+// wall-time figure here depends on both.
+//
+// The record additionally carries a shard_serial_fraction section: for
+// every sharded benchmark configuration, the coordinator's execution
+// telemetry (shard.serial_cycles over total cycles, barrier waits, and the
+// adaptive-quantum histogram of DESIGN.md §13). Unlike the wall times,
+// these values are pure simulation state — deterministic per (config,
+// shards) — so the section doubles as a pinned record of the serial
+// fraction the window planner achieves. Each entry also carries the same
+// config's serial cycles under the PR 7 coordinator (measured once at
+// commit 1392b02, whose fixed-quantum planner forced lockstep for the full
+// life of every unpolled SyncWait) and the resulting drop factor.
 //
 // The -baseline loader accepts both record layouts: ns_op (PR 5 and later)
 // and skipping_ns_op (the PR 4 kernel-vs-kernel record).
@@ -16,7 +27,7 @@
 // minimum ns/op is kept: the minimum is the least-interference estimate on
 // a shared host.
 //
-//	go run ./cmd/benchjson                  # full suite, 3 reps, BENCH_7.json
+//	go run ./cmd/benchjson                  # full suite, 3 reps, BENCH_10.json
 //	go run ./cmd/benchjson -count 1 -bench Fig2 -out /tmp/smoke.json
 package main
 
@@ -31,7 +42,10 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
+
+	"smtpsim/internal/core"
 )
 
 type benchResult struct {
@@ -60,6 +74,131 @@ type report struct {
 	// BenchmarkWarmSweep_Forked: the wall-time factor saved by forking the
 	// sweep's shared prefix from one checkpoint (DESIGN.md §14).
 	WarmSweepSpeedup float64 `json:"warm_sweep_speedup,omitempty"`
+	// ShardSerialFraction records, per sharded benchmark configuration, how
+	// much of the simulated time the coordinator spent in serial lockstep —
+	// deterministic simulation state, unlike the wall times above.
+	ShardSerialFraction []shardFraction `json:"shard_serial_fraction,omitempty"`
+}
+
+// quantumBucket is one bar of the adaptive-quantum histogram: how many
+// parallel windows the planner dispatched at quantum width Q.
+type quantumBucket struct {
+	Q       uint64 `json:"q"`
+	Windows uint64 `json:"windows"`
+}
+
+// shardFraction is the coordinator telemetry of one sharded benchmark
+// configuration (the shard.* metric scope, METRICS.md). Every field is a
+// deterministic function of (config, shards).
+type shardFraction struct {
+	Bench           string          `json:"bench"`
+	App             string          `json:"app"`
+	Nodes           int             `json:"nodes"`
+	AppThreads      int             `json:"app_threads"`
+	Shards          int             `json:"shards"`
+	TotalCycles     uint64          `json:"total_cycles"`
+	SerialCycles    uint64          `json:"serial_cycles"`
+	SerialFraction  float64         `json:"serial_fraction"`
+	SerialWindows   uint64          `json:"serial_windows"`
+	BarrierWaits    uint64          `json:"barrier_waits"`
+	CrossMsgs       uint64          `json:"cross_msgs"`
+	ParallelReplays uint64          `json:"parallel_replays"`
+	Quanta          []quantumBucket `json:"quanta"`
+	// PR7SerialCycles is the same configuration's shard.serial_cycles under
+	// the PR 7 coordinator (commit 1392b02), measured once and pinned here;
+	// SerialDropVsPR7 = PR7SerialCycles / SerialCycles.
+	PR7SerialCycles uint64  `json:"pr7_serial_cycles,omitempty"`
+	SerialDropVsPR7 float64 `json:"serial_drop_vs_pr7,omitempty"`
+}
+
+// shard.serial_cycles of the PR 7 coordinator (commit 1392b02) on the
+// sharded benchmark configurations, measured once from that commit's tree:
+// its planner had no ROB-position horizon, so every window overlapping the
+// life of an unpolled SyncWait ran in cycle-by-cycle lockstep. PR 7's
+// serial_cycles is shard-count independent (lockstep decisions depend only
+// on machine-wide state), so each machine size needs one constant.
+const (
+	pr7Shard16Serial     = 17257 // FFT 16n 2w, Scale 0.25, Seed 42 (of 115200 cycles)
+	pr7Shard32Serial     = 33759 // FFT 32n 2w, Scale 0.25, Seed 42 (of 228096 cycles)
+	pr7Shard32SyncSerial = 99628 // Water 32n 1w, Scale 0.125, Seed 42 (of 230400 cycles)
+)
+
+// shardPoints mirrors the root suite's sharded benchmarks (bench_test.go):
+// the FFT sweep points and the sync-heavy Water stress point. pr7Serial is
+// shard.serial_cycles measured for the identical config at commit 1392b02
+// (the PR 7 coordinator); 0 means not measured.
+var shardPoints = []struct {
+	bench     string
+	cfg       core.Config
+	pr7Serial uint64
+}{
+	{"BenchmarkShard16Node_Shards2", core.Config{
+		Model: core.SMTp, App: core.FFT, Nodes: 16, AppThreads: 2,
+		Scale: 0.25, Seed: 42, Shards: 2}, pr7Shard16Serial},
+	{"BenchmarkShard16Node_Shards4", core.Config{
+		Model: core.SMTp, App: core.FFT, Nodes: 16, AppThreads: 2,
+		Scale: 0.25, Seed: 42, Shards: 4}, pr7Shard16Serial},
+	{"BenchmarkShard32Node_Shards2", core.Config{
+		Model: core.SMTp, App: core.FFT, Nodes: 32, AppThreads: 2,
+		Scale: 0.25, Seed: 42, Shards: 2}, pr7Shard32Serial},
+	{"BenchmarkShard32Node_Shards4", core.Config{
+		Model: core.SMTp, App: core.FFT, Nodes: 32, AppThreads: 2,
+		Scale: 0.25, Seed: 42, Shards: 4}, pr7Shard32Serial},
+	{"BenchmarkShard32NodeSync_Shards4", core.Config{
+		Model: core.SMTp, App: core.Water, Nodes: 32, AppThreads: 1,
+		Scale: 0.125, Seed: 42, Shards: 4}, pr7Shard32SyncSerial},
+}
+
+// measureShardFractions runs every sharded benchmark configuration once and
+// extracts the coordinator telemetry. The runs are pure simulation — the
+// values do not depend on the host, the scheduler, or the wall-time
+// measurements around them.
+func measureShardFractions() ([]shardFraction, error) {
+	var out []shardFraction
+	for _, p := range shardPoints {
+		r := core.Run(p.cfg)
+		if r.Err != nil || !r.Completed {
+			return nil, fmt.Errorf("%s: err=%v completed=%v", p.bench, r.Err, r.Completed)
+		}
+		sm := r.ShardMetrics
+		if sm == nil {
+			return nil, fmt.Errorf("%s: sharded run produced no shard metrics", p.bench)
+		}
+		sf := shardFraction{
+			Bench:           p.bench,
+			App:             p.cfg.App.String(),
+			Nodes:           p.cfg.Nodes,
+			AppThreads:      p.cfg.AppThreads,
+			Shards:          p.cfg.Shards,
+			TotalCycles:     uint64(r.Cycles),
+			SerialCycles:    sm.Uint("shard.serial_cycles"),
+			SerialWindows:   sm.Uint("shard.serial_windows"),
+			BarrierWaits:    sm.Uint("shard.barrier_waits"),
+			CrossMsgs:       sm.Uint("shard.cross_msgs"),
+			ParallelReplays: sm.Uint("shard.parallel_replays"),
+		}
+		if sf.TotalCycles > 0 {
+			sf.SerialFraction = float64(sf.SerialCycles) / float64(sf.TotalCycles)
+		}
+		for _, name := range sm.Names() {
+			q, ok := strings.CutPrefix(name, "shard.quantum_")
+			if !ok {
+				continue
+			}
+			width, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad quantum bucket %q", p.bench, name)
+			}
+			sf.Quanta = append(sf.Quanta, quantumBucket{Q: width, Windows: sm.Uint(name)})
+		}
+		sort.Slice(sf.Quanta, func(i, j int) bool { return sf.Quanta[i].Q < sf.Quanta[j].Q })
+		if p.pr7Serial > 0 && sf.SerialCycles > 0 {
+			sf.PR7SerialCycles = p.pr7Serial
+			sf.SerialDropVsPR7 = float64(p.pr7Serial) / float64(sf.SerialCycles)
+		}
+		out = append(out, sf)
+	}
+	return out, nil
 }
 
 // baselineReport accepts both baseline layouts: the PR 5+ records carry
@@ -143,8 +282,9 @@ func loadBaseline(path string) (map[string]float64, error) {
 func main() {
 	count := flag.Int("count", 3, "repetitions; the minimum ns/op is kept")
 	pattern := flag.String("bench", ".", "benchmark regexp forwarded to go test -bench")
-	baseline := flag.String("baseline", "BENCH_7.json", "prior record to compare against (missing file: no comparison)")
-	out := flag.String("out", "BENCH_9.json", "output path")
+	baseline := flag.String("baseline", "BENCH_9.json", "prior record to compare against (missing file: no comparison)")
+	out := flag.String("out", "BENCH_10.json", "output path")
+	fractions := flag.Bool("shard-fractions", true, "measure the shard_serial_fraction section (one extra run per sharded config)")
 	flag.Parse()
 
 	base, err := loadBaseline(*baseline)
@@ -197,6 +337,15 @@ func main() {
 			r.WarmSweepSpeedup = full.ns / forked.ns
 		}
 	}
+	if *fractions {
+		fmt.Fprintln(os.Stderr, "benchjson: measuring shard serial fractions...")
+		sf, err := measureShardFractions()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		r.ShardSerialFraction = sf
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -223,6 +372,14 @@ func main() {
 	}
 	if r.WarmSweepSpeedup > 0 {
 		fmt.Printf("warm-start forked sweep: %.2fx faster than the full sweep\n", r.WarmSweepSpeedup)
+	}
+	for _, sf := range r.ShardSerialFraction {
+		line := fmt.Sprintf("%-45s serial %d/%d cycles (%.4f), %d barrier waits",
+			sf.Bench, sf.SerialCycles, sf.TotalCycles, sf.SerialFraction, sf.BarrierWaits)
+		if sf.SerialDropVsPR7 > 0 {
+			line += fmt.Sprintf(", %.1fx fewer serial cycles than PR 7", sf.SerialDropVsPR7)
+		}
+		fmt.Println(line)
 	}
 	fmt.Printf("geomean speedup vs %s: %.3fx (%d of %d benchmarks, count=%d) -> %s\n",
 		*baseline, r.GeomeanSpeedup, compared, len(r.Benchmarks), r.Count, *out)

@@ -278,6 +278,14 @@ type Result struct {
 	// Series is the cycle-sampled metric time series, recorded every
 	// Config.MetricsInterval cycles. Nil unless MetricsInterval was set.
 	Series *stats.Series
+
+	// ShardMetrics is the end-of-run snapshot of the sharded coordinator's
+	// execution telemetry (the shard.* names: quanta, barrier waits, serial
+	// and parallel cycles — see METRICS.md). Execution-side observability
+	// like WallTime: the values depend on the shard count, so they are
+	// deterministic per (config, shards) but excluded from WriteRunJSON and
+	// every determinism comparison. Nil on serial runs.
+	ShardMetrics *stats.Snapshot
 }
 
 // OccPair is a (peak across nodes, mean of per-node peaks) pair as in
@@ -430,6 +438,9 @@ func harvest(cfg Config, m *machine.Machine, cycles sim.Cycle, done bool) *Resul
 	r := &Result{Cfg: cfg, Completed: done, Cycles: cycles}
 	snap := m.Reg.Snapshot()
 	r.Metrics = snap
+	if m.ShardReg != nil {
+		r.ShardMetrics = m.ShardReg.Snapshot()
+	}
 	if rec := m.Recorder(); rec != nil {
 		r.Series = rec.Series()
 	}

@@ -4,28 +4,41 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+
+	"smtpsim/internal/sim"
 )
 
 // TestShardDifferential pins the tentpole invariant of intra-run sharding
 // (DESIGN.md §13): partitioning the machine across shard engines is
-// observably invisible. Every configuration runs at shard counts 1, 2 and 4
+// observably invisible. Every configuration runs at each listed shard count
 // and must produce the same cycle count and byte-identical WriteRunJSON
-// output — every counter, peak and histogram of the full metrics snapshot.
+// output — every counter, peak and histogram of the full metrics snapshot —
+// as the serial run. The 32-node machines go up to shards=8 (4 nodes per
+// shard), and the sampled cases interleave the sharded window protocol —
+// adaptive quanta, partitioned replay and all — with functional
+// fast-forward phases across every detailed window boundary.
 func TestShardDifferential(t *testing.T) {
 	type cse struct {
-		app   App
-		model Model
-		nodes int
-		way   int
-		scale float64
+		app    App
+		model  Model
+		nodes  int
+		way    int
+		scale  float64
+		shards []int
+		period uint64 // SamplePeriod; 0 = full detail
+		window uint64 // SampleWindow, set with period
 	}
 	cases := []cse{
-		{FFT, SMTp, 8, 1, 0.25},
-		{Radix, Base, 8, 2, 0.25},
-		{Ocean, SMTp, 16, 1, 0.25},
-		{LU, Int512KB, 16, 2, 0.25},
-		{FFT, SMTp, 32, 2, 0.25},
-		{Water, SMTp, 32, 1, 0.125},
+		{app: FFT, model: SMTp, nodes: 8, way: 1, scale: 0.25, shards: []int{2, 4}},
+		{app: Radix, model: Base, nodes: 8, way: 2, scale: 0.25, shards: []int{2, 4}},
+		{app: Ocean, model: SMTp, nodes: 16, way: 1, scale: 0.25, shards: []int{2, 4}},
+		{app: LU, model: Int512KB, nodes: 16, way: 2, scale: 0.25, shards: []int{2, 4}},
+		{app: FFT, model: SMTp, nodes: 32, way: 2, scale: 0.25, shards: []int{2, 4, 8}},
+		{app: Water, model: SMTp, nodes: 32, way: 1, scale: 0.125, shards: []int{2, 4, 8}},
+		{app: FFT, model: SMTp, nodes: 16, way: 1, scale: 0.25, shards: []int{2, 4},
+			period: 2000, window: 4096},
+		{app: Ocean, model: SMTp, nodes: 32, way: 1, scale: 0.125, shards: []int{2, 4, 8},
+			period: 2000, window: 4096},
 	}
 	if testing.Short() {
 		cases = cases[:2]
@@ -33,12 +46,16 @@ func TestShardDifferential(t *testing.T) {
 	for _, c := range cases {
 		c := c
 		name := fmt.Sprintf("%s_%s_%dn%dw", c.app, c.model, c.nodes, c.way)
+		if c.period > 0 {
+			name += "_sampled"
+		}
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			cfg := Config{
 				Model: c.model, App: c.app,
 				Nodes: c.nodes, AppThreads: c.way,
 				Scale: c.scale, Seed: 42,
+				SamplePeriod: c.period, SampleWindow: sim.Cycle(c.window),
 			}
 			run := func(shards int) (*Result, []byte) {
 				cfg := cfg
@@ -54,7 +71,7 @@ func TestShardDifferential(t *testing.T) {
 				return r, b.Bytes()
 			}
 			serial, serialJSON := run(1)
-			for _, shards := range []int{2, 4} {
+			for _, shards := range c.shards {
 				sharded, shardedJSON := run(shards)
 				if sharded.Cycles != serial.Cycles {
 					t.Errorf("shards=%d: cycle counts diverge: %d vs serial %d",

@@ -134,6 +134,10 @@ func TestSnapshotDifferentialSharded(t *testing.T) {
 		{FFT, SMTp, 8, 1, 1, 4},
 		{Radix, Base, 8, 2, 4, 2},
 		{Ocean, SMTp, 16, 1, 4, 8},
+		// 32 nodes at 8 shards: the capture lands mid-stream of a run whose
+		// windows widen and narrow adaptively, and the restore must re-derive
+		// the same quantum sequence from the restored state alone.
+		{FFT, SMTp, 32, 2, 8, 8},
 	}
 	for _, c := range cases {
 		c := c

@@ -1,0 +1,220 @@
+package machine
+
+import (
+	"runtime"
+	"sync/atomic" //simlint:allow shardsafe -- the tree barrier IS the sanctioned quantum-barrier implementation; every use is in a shardfunnel below
+
+	"smtpsim/internal/network"
+	"smtpsim/internal/sim"
+)
+
+// This file is the sense-reversing combining-tree barrier that couples the
+// shard coordinator with its workers (DESIGN.md §13). It replaces the
+// original per-worker channel handshake: a release is one atomic
+// generation bump (parked workers are woken down an arity-4 tree, so the
+// coordinator touches at most barArity waiters), and arrivals combine up
+// the same tree, so the coordinator observes a single root counter instead
+// of draining one channel receive per worker. Waiters spin briefly —
+// yielding, so single-core hosts still make progress — and then park on a
+// per-waiter channel; the park/unpark race is resolved by an atomic state
+// CAS, making the whole protocol race-detector-clean.
+//
+// Rounds are strictly sequenced by the coordinator (release, work,
+// collect), so a waiter parks at most once per round and every wake token
+// is consumed within its round: the channels never accumulate stale
+// tokens.
+
+// Round kinds, published alongside the generation bump.
+const (
+	barRun    uint8 = iota // advance the shard engine to the published edge
+	barReplay              // replay the published plan's own partition
+	barStop                // shut the worker down (end of the sharded run)
+)
+
+const (
+	// barArity is the tree fan-out: each worker wakes (release) and
+	// combines (arrival) at most barArity children.
+	barArity = 4
+	// barSpins bounds the yielding spin before a waiter parks. Windows
+	// usually redispatch within a few scheduler quanta, so a short spin
+	// catches the common case without burning a single-core CI host.
+	barSpins = 128
+)
+
+// barWaiter is one parkable participant: state 0 means running or
+// spinning, 1 means parked on the channel. Whoever wins the 1->0 CAS owns
+// the wake: the unparker sends the token only if its CAS succeeded, the
+// waiter consumes the token only if its own CAS failed.
+type barWaiter struct {
+	state atomic.Uint32
+	park  chan struct{}
+}
+
+// barNode is one arrival-tree node: fanin = the worker's own arrival plus
+// one per child subtree. The arriver that completes the fanin resets the
+// counter (safe: the next round cannot start before the coordinator has
+// collected, which orders every reset before any next-round arrival) and
+// carries the combined arrival to the parent.
+type barNode struct {
+	arrived atomic.Uint32
+	fanin   uint32
+}
+
+// treeBarrier is the coordinator/worker rendezvous. The round payload
+// (kind, edge, plan) is written plainly before the atomic generation bump
+// and read after an acquiring load of the generation, which is exactly the
+// publication edge the Go memory model gives sync/atomic.
+type treeBarrier struct {
+	gen atomic.Uint64 // round generation; bumping it releases the workers
+
+	// Round payload, published by the gen bump.
+	kind uint8
+	edge sim.Cycle
+	plan *network.ReplayPlan
+
+	rootDone    atomic.Uint64 // completed rounds (equals the round's gen)
+	rootArrived atomic.Uint32
+	rootFanin   uint32
+
+	// workers[w] drives shards[w+1]; tree shape: parent(w) = w/barArity-1
+	// for w >= barArity, children(w) = [barArity*w+barArity,
+	// barArity*w+2*barArity). Workers 0..barArity-1 report to the root.
+	workers []barWaiter
+	nodes   []barNode
+	coord   barWaiter
+}
+
+//simlint:shardfunnel -- constructs the barrier's park channels before any worker exists
+func newTreeBarrier(nworkers int) *treeBarrier {
+	b := &treeBarrier{
+		workers: make([]barWaiter, nworkers),
+		nodes:   make([]barNode, nworkers),
+	}
+	b.coord.park = make(chan struct{}, 1)
+	for w := range b.workers {
+		b.workers[w].park = make(chan struct{}, 1)
+		fanin := uint32(1)
+		for c := barArity*w + barArity; c < barArity*w+2*barArity && c < nworkers; c++ {
+			fanin++
+		}
+		b.nodes[w].fanin = fanin
+	}
+	b.rootFanin = uint32(nworkers)
+	if b.rootFanin > barArity {
+		b.rootFanin = barArity
+	}
+	return b
+}
+
+// unpark hands the waiter its wake token if (and only if) it is parked.
+//
+//simlint:shardfunnel -- the wake half of the barrier protocol; the CAS decides the single owner of the token send
+func (b *treeBarrier) unpark(w *barWaiter) {
+	if w.state.CompareAndSwap(1, 0) {
+		w.park <- struct{}{}
+	}
+}
+
+// release publishes a round and wakes the coordinator's direct children;
+// each woken worker forwards the wake to its own children (wakeChildren)
+// before starting the round, so a fully parked fleet fans out in
+// O(log nworkers) wake hops. Returns the round's generation.
+//
+//simlint:shardfunnel -- the coordinator's round publication: runs with every worker parked or spinning at the barrier, and the gen bump is the release edge that publishes the payload
+func (b *treeBarrier) release(kind uint8, edge sim.Cycle, plan *network.ReplayPlan) uint64 {
+	b.kind, b.edge, b.plan = kind, edge, plan
+	gen := b.gen.Add(1)
+	for w := 0; w < barArity && w < len(b.workers); w++ {
+		b.unpark(&b.workers[w])
+	}
+	return gen
+}
+
+// wakeChildren forwards a release down the tree. Spinning children notice
+// the generation themselves; only parked ones receive a token.
+func (b *treeBarrier) wakeChildren(w int) {
+	for c := barArity*w + barArity; c < barArity*w+2*barArity && c < len(b.workers); c++ {
+		b.unpark(&b.workers[c])
+	}
+}
+
+// awaitRelease blocks worker w until round gen is published. The
+// lost-wakeup race is closed by declaring the parked state before
+// re-checking the generation: the unparker's CAS decides which side owns
+// the wake token.
+//
+//simlint:shardfunnel -- the worker half of the barrier handshake: spin-then-park on the round generation
+func (b *treeBarrier) awaitRelease(w int, gen uint64) {
+	wt := &b.workers[w]
+	for i := 0; i < barSpins; i++ {
+		if b.gen.Load() >= gen {
+			return
+		}
+		runtime.Gosched()
+	}
+	for {
+		wt.state.Store(1)
+		if b.gen.Load() >= gen {
+			if wt.state.CompareAndSwap(1, 0) {
+				return
+			}
+			<-wt.park // an unparker claimed the park; consume its token
+			return
+		}
+		<-wt.park
+		if b.gen.Load() >= gen {
+			return
+		}
+	}
+}
+
+// arrive reports worker w's round completion, combining subtree arrivals
+// up the tree; the arriver that completes a node's fanin carries the
+// arrival to the parent, and the top level completes the round and wakes
+// the coordinator.
+func (b *treeBarrier) arrive(w int) {
+	for {
+		nd := &b.nodes[w]
+		if nd.arrived.Add(1) != nd.fanin {
+			return
+		}
+		nd.arrived.Store(0)
+		if w < barArity {
+			if b.rootArrived.Add(1) != b.rootFanin {
+				return
+			}
+			b.rootArrived.Store(0)
+			b.rootDone.Add(1)
+			b.unpark(&b.coord)
+			return
+		}
+		w = w/barArity - 1
+	}
+}
+
+// collect blocks the coordinator until round gen's workers have all
+// arrived, with the same spin-then-park protocol the workers use.
+//
+//simlint:shardfunnel -- the coordinator half of the barrier handshake: spin-then-park on the arrival tree's root
+func (b *treeBarrier) collect(gen uint64) {
+	for i := 0; i < barSpins; i++ {
+		if b.rootDone.Load() >= gen {
+			return
+		}
+		runtime.Gosched()
+	}
+	for {
+		b.coord.state.Store(1)
+		if b.rootDone.Load() >= gen {
+			if b.coord.state.CompareAndSwap(1, 0) {
+				return
+			}
+			<-b.coord.park
+			return
+		}
+		<-b.coord.park
+		if b.rootDone.Load() >= gen {
+			return
+		}
+	}
+}

@@ -110,7 +110,9 @@ type Machine struct {
 	// Sharded-execution state (nil/empty when Cfg.Shards <= 1).
 	shards  []*shard
 	nodesPS int       // nodes per shard
-	quantum sim.Cycle // conservative lookahead window (K)
+	quantum sim.Cycle // base (narrowest) lookahead quantum
+	hop     sim.Cycle // network hop latency (the lookahead itself)
+	bar     *treeBarrier
 
 	// jitter, when set (tests only), runs at the top of every worker window
 	// to perturb the goroutine schedule; byte-identical results under
@@ -118,22 +120,36 @@ type Machine struct {
 	jitter func()
 
 	// Coordinator telemetry, published through ShardReg.
-	quanta       uint64 // parallel quanta dispatched
-	barrierWaits uint64 // worker arrivals at the quantum barrier
-	crossMsgs    uint64 // staged sends replayed at sync points
-	serialWin    uint64 // lockstep windows forced by sync safety
-	serialCycles uint64 // cycles stepped under lockstep
+	quanta         uint64 // parallel windows dispatched
+	barrierWaits   uint64 // worker arrivals at the quantum barrier
+	crossMsgs      uint64 // staged sends replayed at sync points
+	serialWin      uint64 // lockstep windows forced by sync safety
+	serialCycles   uint64 // cycles stepped under lockstep
+	parallelCycles uint64 // cycles covered by dispatched parallel windows
+	parallelReps   uint64 // replay passes partitioned across the workers
+	// quantaByQ[i] counts parallel windows whose adaptive quantum was
+	// 2^i cycles (i up to log2(maxQuantum)); the shard.quantum_* metrics.
+	quantaByQ [maxQuantumLog + 1]uint64
 
 	recorder *stats.Recorder
 }
 
+// maxQuantum is the widest adaptive quantum: a full Done-poll batch. The
+// base quantum (largest power of two at or below the hop latency) is the
+// floor; the window planner widens between the two as the safety bounds
+// allow (see shard.go).
+const (
+	maxQuantum    = 256
+	maxQuantumLog = 8 // log2(maxQuantum)
+)
+
 // shard is one partition of the machine: a contiguous node range driven by
-// its own engine and network endpoint, plus the worker-handshake channel.
+// its own engine and network endpoint. The coordinator dispatches work to
+// the shard workers through the tree barrier (barrier.go).
 type shard struct {
 	eng    *sim.Engine
 	ep     *network.Endpoint
-	lo, hi int            // node range [lo, hi)
-	start  chan sim.Cycle // coordinator -> worker: run to this edge
+	lo, hi int // node range [lo, hi)
 }
 
 // New builds a machine.
@@ -193,13 +209,14 @@ func New(cfg Config) *Machine {
 		// serial run; staying at or below one hop guarantees every
 		// cross-shard message sent inside a window arrives strictly after
 		// the window's edge, where it is injected during replay.
-		m.quantum = 256
+		m.quantum = maxQuantum
 		for m.quantum > hop {
 			m.quantum >>= 1
 		}
 		if m.quantum < 1 {
 			m.quantum = 1
 		}
+		m.hop = hop
 		m.nodesPS = cfg.Nodes / nsh
 		for k := 0; k < nsh; k++ {
 			seng := m.Eng
@@ -299,6 +316,24 @@ func New(cfg Config) *Machine {
 		}
 	}
 	if nsh > 1 {
+		// Refill hints: every staged send's delivery time is announced to
+		// the destination pipeline the moment replay schedules it, and each
+		// pipeline learns which addresses are homed remotely — together the
+		// inputs SyncHorizon needs to bound memory-stalled sync waits
+		// (DESIGN.md §13). The observer runs either with all shards parked
+		// or from the replay partition that owns msg.Dst's shard, so the
+		// hint write is always shard-private.
+		m.Net.SetReplayObserver(func(msg *network.Message, done sim.Cycle) {
+			m.Nodes[msg.Dst].Pipe.RefillHint(msg.Addr, done)
+		})
+		for i, n := range m.Nodes {
+			id := addrmap.NodeID(i)
+			n.Pipe.SetRemoteHome(func(addr uint64) bool {
+				return addrmap.IsAppData(addr) && m.AMap.HomeOf(addr) != id
+			})
+		}
+	}
+	if nsh > 1 {
 		m.ShardReg = stats.NewRegistry()
 		sc := m.ShardReg.Scope("shard")
 		sc.CounterFunc("quanta", func() uint64 { return m.quanta })
@@ -306,6 +341,18 @@ func New(cfg Config) *Machine {
 		sc.CounterFunc("cross_msgs", func() uint64 { return m.crossMsgs })
 		sc.CounterFunc("serial_windows", func() uint64 { return m.serialWin })
 		sc.CounterFunc("serial_cycles", func() uint64 { return m.serialCycles })
+		sc.CounterFunc("parallel_cycles", func() uint64 { return m.parallelCycles })
+		sc.CounterFunc("parallel_replays", func() uint64 { return m.parallelReps })
+		// The adaptive-quantum histogram: one counter per power-of-two
+		// quantum the planner can choose, base through maxQuantum.
+		for lg := 0; lg <= maxQuantumLog; lg++ {
+			q := sim.Cycle(1) << uint(lg)
+			if q < m.quantum {
+				continue
+			}
+			i := lg
+			sc.CounterFunc(fmt.Sprintf("quantum_%d", q), func() uint64 { return m.quantaByQ[i] })
+		}
 		for k, s := range m.shards {
 			seng := s.eng
 			ks := m.ShardReg.Scope(fmt.Sprintf("shard%d", k))

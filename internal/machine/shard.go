@@ -2,6 +2,7 @@ package machine
 
 import (
 	"context"
+	"math/bits"
 
 	"smtpsim/internal/addrmap"
 	"smtpsim/internal/network"
@@ -10,20 +11,32 @@ import (
 
 // This file is the intra-run sharding coordinator (DESIGN.md §13): the
 // machine's nodes are partitioned into contiguous shards, each driven by its
-// own engine on its own OS thread, synchronized conservatively every
-// lookahead quantum. Three invariants make the result byte-identical to a
-// serial run at any shard count:
+// own engine on its own OS thread, synchronized conservatively at window
+// edges. Three invariants make the result byte-identical to a serial run at
+// any shard count:
 //
-//  1. The quantum never exceeds the network hop latency, so a cross-shard
-//     message sent inside a window cannot be due before the window's edge —
-//     staging it and replaying at the edge loses nothing.
+//  1. A window never extends past the cycle by which a cross-shard message
+//     sent inside it could be due: every send happens at or after the
+//     machine-wide SkipBound, and a message sent at t is delivered no
+//     earlier than t + hop + 2 — so any edge at or below bound + hop is
+//     safe, and staging the window's sends for replay at the edge loses
+//     nothing. (The base quantum ≤ hop is the degenerate case: then every
+//     window is safe regardless of bound.)
 //  2. Replay sorts all shards' staged sends by their captured engine
 //     positions (the global serial scheduling order) and reserves the
-//     shared link table single-threaded, reconstructing the serial
-//     network's exact contention and delivery times.
+//     shared link table in that order, reconstructing the serial network's
+//     exact contention and delivery times — single-threaded, or partitioned
+//     across shards when the partitions provably share no link.
 //  3. Windows in which any thread could reach a synchronization operation
 //     (the one mutation of cross-shard state outside the network) run in
 //     cycle-by-cycle lockstep on the coordinator instead of in parallel.
+//
+// Within those safety bounds the planner adapts the quantum: the window
+// edge is the next multiple of the widest power-of-two quantum — between
+// the base quantum and the 256-cycle batch — that still fits under the
+// bounds, recomputed from simulation state alone at every decision, so
+// quiet stretches pay one barrier per 256 cycles instead of one per base
+// quantum while the decision sequence stays deterministic.
 
 // now returns the machine-wide clock. All shard engines agree at every
 // coordinator decision point: windows run every engine to the same edge,
@@ -41,8 +54,25 @@ func (m *Machine) epOf(id addrmap.NodeID) *network.Endpoint {
 
 // replay injects every staged cross-shard send in global serial order; it
 // must run at every sync point, with all shards parked at the same cycle.
+// The merge-sort runs once; when the plan proves the per-destination-shard
+// partitions link-disjoint (and the batch is worth a dispatch), the
+// reservation replay itself fans out across the shard workers, each
+// replaying only its own shard's deliveries.
 func (m *Machine) replay() {
-	m.crossMsgs += uint64(m.Net.ReplayStaged(m.epOf))
+	plan := m.Net.PlanReplay(m.nodesPS, len(m.shards))
+	if plan.Count() == 0 {
+		return
+	}
+	if plan.Parallel() {
+		m.parallelReps++
+		gen := m.bar.release(barReplay, 0, plan)
+		plan.ReplayPart(0, m.epOf)
+		m.bar.collect(gen)
+		m.barrierWaits += uint64(len(m.shards) - 1)
+	} else {
+		plan.ReplaySerial(m.epOf)
+	}
+	m.crossMsgs += uint64(plan.Finish())
 }
 
 // syncHorizon returns how many upcoming cycles (capped at limit) are
@@ -72,21 +102,33 @@ func (m *Machine) stepAll() {
 	}
 }
 
-// shardWorker runs one shard: each handshake receives a window edge, runs
-// the shard's engine — skipping its own quiescent stretches — up to it, and
-// reports back. Workers only ever run inside sync-safe windows, touching
-// nothing but their shard's engine, nodes and endpoint.
+// shardWorker runs one shard: each barrier round delivers either a window
+// edge to run the shard's engine up to — skipping its own quiescent
+// stretches — or a replay partition to inject, or the shutdown signal.
+// Workers only ever run inside sync-safe windows, touching nothing but
+// their shard's engine, nodes, endpoint and replay partition.
 //
-//simlint:shardfunnel -- the worker half of the quantum-barrier handshake; its channels ARE the sanctioned synchronization of DESIGN.md §13
-func (m *Machine) shardWorker(s *shard, done chan<- struct{}) {
-	for edge := range s.start {
+//simlint:shardfunnel -- the worker half of the barrier handshake; the tree barrier's release/arrive protocol IS the sanctioned synchronization of DESIGN.md §13
+func (m *Machine) shardWorker(b *treeBarrier, s *shard, w int) {
+	for gen := uint64(1); ; gen++ {
+		b.awaitRelease(w, gen)
+		b.wakeChildren(w)
+		kind := b.kind
+		if kind == barStop {
+			return
+		}
 		if m.jitter != nil {
 			m.jitter()
 		}
-		for s.eng.Now() < edge {
-			s.eng.Advance(edge)
+		if kind == barReplay {
+			b.plan.ReplayPart(w+1, m.epOf)
+		} else {
+			edge := b.edge
+			for s.eng.Now() < edge {
+				s.eng.Advance(edge)
+			}
 		}
-		done <- struct{}{}
+		b.arrive(w)
 	}
 }
 
@@ -94,20 +136,18 @@ func (m *Machine) shardWorker(s *shard, done chan<- struct{}) {
 // and Done-poll cadence (so the reported cycle count matches a serial run),
 // with each batch advanced window-by-window instead of by one engine.
 //
-//simlint:shardfunnel -- the coordinator: creates and closes the barrier channels that carry the handshake
+//simlint:shardfunnel -- the coordinator: owns the tree barrier that carries the worker handshake
 func (m *Machine) runSharded(ctx context.Context, maxCycles sim.Cycle) (sim.Cycle, bool) {
-	done := make(chan struct{}, len(m.shards))
-	for _, s := range m.shards[1:] {
-		s.start = make(chan sim.Cycle)
+	m.bar = newTreeBarrier(len(m.shards) - 1)
+	for i, s := range m.shards[1:] {
 		// The coordinator's worker pool is the sanctioned parallelism of the
-		// sharded machine; the conservative quantum protocol above makes it
+		// sharded machine; the conservative window protocol above makes it
 		// schedule-independent.
-		go m.shardWorker(s, done) //simlint:allow determinism -- quantum-synchronized shard workers; results are schedule-independent by construction
+		go m.shardWorker(m.bar, s, i) //simlint:allow determinism -- barrier-synchronized shard workers; results are schedule-independent by construction
 	}
 	defer func() {
-		for _, s := range m.shards[1:] {
-			close(s.start)
-		}
+		m.bar.release(barStop, 0, nil)
+		m.bar = nil
 	}()
 
 	start := m.now()
@@ -122,7 +162,7 @@ func (m *Machine) runSharded(ctx context.Context, maxCycles sim.Cycle) (sim.Cycl
 			batchEnd = limit
 		}
 		for m.now() < batchEnd {
-			m.window(batchEnd, done)
+			m.window(batchEnd)
 		}
 		if m.Done() {
 			return m.now() - start, true
@@ -139,26 +179,44 @@ func (m *Machine) runSharded(ctx context.Context, maxCycles sim.Cycle) (sim.Cycl
 
 // window advances the machine through one coordinator decision:
 //
-//   - If every shard can skip to the next quantum edge or beyond, nothing
-//     observable happens before the common bound — jump all engines there
-//     in unison and execute that single cycle serially (idle fast-path).
-//   - Else, if some prefix of the window is provably free of
+//   - If every shard can skip to the next base-quantum edge or beyond,
+//     nothing observable happens before the common bound — jump all
+//     engines there in unison and execute that single cycle serially (idle
+//     fast-path; the jump may cover many quanta at once).
+//   - Else, if some prefix of upcoming cycles is provably free of
 //     synchronization mutations, dispatch the workers: every shard runs
-//     independently — skipping its own idle stretches — to the end of that
-//     prefix (at most the quantum edge), then staged sends replay. A short
-//     sync-safe prefix shortens the parallel window rather than forcing it
-//     serial.
+//     independently — skipping its own idle stretches — to the window
+//     edge, then staged sends replay. The edge is the next multiple of the
+//     widest admissible adaptive quantum (see below); a short sync horizon
+//     shortens the window rather than forcing it serial.
 //   - Else (a synchronization mutation may occur on the very next cycle)
 //     fall back to one cycle of serial lockstep — jump to the common
 //     bound, step every shard, replay — and re-decide; parallelism resumes
 //     the moment the synchronization point has passed.
 //
-//simlint:shardfunnel -- the coordinator half of the quantum-barrier handshake: dispatches window edges and collects worker completions
-func (m *Machine) window(batchEnd sim.Cycle, done chan struct{}) {
+// The parallel edge is capped by two safety bounds, both recomputed from
+// simulation state at every decision (so the choice is deterministic):
+//
+//   - crossSafe = bound + hop: no shard acts before bound (the machine-wide
+//     SkipBound minimum), so no cross-shard message is sent before bound,
+//     and its delivery is due at bound + hop + 2 at the earliest — strictly
+//     beyond any edge at or below crossSafe. Staged sends never limit the
+//     edge beyond this: replay runs at every window end, so the staged
+//     buffers are empty at decision time.
+//   - now + syncHorizon: no synchronization mutation can occur at or
+//     before this cycle (pipeline.SyncHorizon's ROB-position bound).
+//
+// Within the caps the planner picks the widest power-of-two quantum whose
+// next aligned edge fits — widening to a full 256-cycle batch when traffic
+// and synchronization allow, narrowing back to the base quantum (or below,
+// to a horizon-limited short window) the moment they do not.
+//
+//simlint:shardfunnel -- the coordinator half of the barrier handshake: publishes window edges and collects worker arrivals through the tree barrier
+func (m *Machine) window(batchEnd sim.Cycle) {
 	now := m.now()
-	edge := now - now%m.quantum + m.quantum
-	if edge > batchEnd {
-		edge = batchEnd
+	baseEdge := now - now%m.quantum + m.quantum
+	if baseEdge > batchEnd {
+		baseEdge = batchEnd
 	}
 	bound := batchEnd
 	for _, s := range m.shards {
@@ -166,31 +224,50 @@ func (m *Machine) window(batchEnd sim.Cycle, done chan struct{}) {
 			bound = b
 		}
 	}
-	if bound < edge {
-		if h := m.syncHorizon(edge - now); h > 0 {
-			pEdge := now + h
-			m.quanta++
-			for _, s := range m.shards[1:] {
-				s.start <- pEdge
-			}
-			s0 := m.shards[0]
-			for s0.eng.Now() < pEdge {
-				s0.eng.Advance(pEdge)
-			}
-			for range m.shards[1:] {
-				<-done
-				m.barrierWaits++
-			}
-			m.replay()
-			return
+	if bound >= baseEdge {
+		// Idle fast-path: nothing observable before the common bound.
+		for _, s := range m.shards {
+			s.eng.JumpTo(bound)
 		}
+		m.stepAll()
+		m.replay()
+		return
+	}
+	hLimit := batchEnd
+	if crossSafe := bound + m.hop; crossSafe < hLimit {
+		hLimit = crossSafe
+	}
+	h := m.syncHorizon(hLimit - now)
+	if h == 0 {
+		// Serial lockstep: one exact cycle at the common bound, all shards
+		// glued.
 		m.serialWin++
 		m.serialCycles++
+		for _, s := range m.shards {
+			s.eng.JumpTo(bound)
+		}
+		m.stepAll()
+		m.replay()
+		return
 	}
-	// Serial: one exact cycle at the common bound, all shards glued.
-	for _, s := range m.shards {
-		s.eng.JumpTo(bound)
+	safe := now + h
+	q := sim.Cycle(maxQuantum)
+	for q > m.quantum && now-now%q+q > safe {
+		q >>= 1
 	}
-	m.stepAll()
+	edge := now - now%q + q
+	if edge > safe {
+		edge = safe // horizon-limited short window at the base quantum
+	}
+	m.quanta++
+	m.quantaByQ[bits.Len64(uint64(q))-1]++
+	m.parallelCycles += uint64(edge - now)
+	gen := m.bar.release(barRun, edge, nil)
+	s0 := m.shards[0]
+	for s0.eng.Now() < edge {
+		s0.eng.Advance(edge)
+	}
+	m.bar.collect(gen)
+	m.barrierWaits += uint64(len(m.shards) - 1)
 	m.replay()
 }

@@ -95,6 +95,25 @@ type Network struct {
 	eps       []*Endpoint
 	replayBuf []stagedSend
 
+	// obs, when set, observes every staged send the moment its delivery is
+	// scheduled during replay: the machine feeds the (message, delivery
+	// cycle) pair to the destination pipeline's refill-hint table so
+	// SyncHorizon can bound memory-stalled sync waits. Called with all
+	// shards parked (serial replay) or from the partition that owns the
+	// destination shard (partitioned replay) — never concurrently for the
+	// same destination.
+	obs func(m *Message, done sim.Cycle)
+
+	// Replay-plan scratch (see PlanReplay): the reusable plan, its
+	// per-destination-shard partition buckets and wait counters, and the
+	// generation-stamped link table backing the disjointness check.
+	plan      ReplayPlan
+	parts     [][]stagedSend
+	waits     []uint64
+	stampGen  []uint32
+	stampPart []int32
+	stampCur  uint32
+
 	Sent      uint64
 	Delivered uint64
 	BytesSent uint64
@@ -139,7 +158,7 @@ func (n *Network) MsgPool() *Pool { return &n.pool }
 // t or when the link frees, whichever is later, and holds the link for ser
 // cycles. Returns the (possibly delayed) start time.
 //
-//simlint:shardfunnel -- the shared link table is reserved single-threaded by construction: from Send on an unsharded machine, or from ReplayStaged at a sync point with all shards parked
+//simlint:shardfunnel -- serial-path only: reserveLink is called from Send on an unsharded machine; sync-point replay reserves the same table through reserveOn under the plan's disjointness proof (shard.go)
 func (n *Network) reserveLink(l int, t, ser sim.Cycle) sim.Cycle {
 	if b := n.linkBusy[l]; b > t {
 		t = b

@@ -350,6 +350,7 @@ func (p *Pipeline) DeliverRefill(line uint64, st cache.State, acks int, upgrade 
 	now := p.eng.Now()
 	waiters := e.Waiters
 	p.mshr.Free(e)
+	delete(p.refillDue, line)
 	for _, w := range waiters {
 		switch v := w.(type) {
 		case *uop:

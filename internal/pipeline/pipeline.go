@@ -219,6 +219,21 @@ type Pipeline struct {
 	wbPending  map[uint64]bool
 	acksWanted map[uint64]int
 
+	// refillDue maps an outstanding application miss line to the earliest
+	// network delivery ever scheduled for it at this node — the monotone
+	// minimum over every sync-point replay's hints (RefillHint) across the
+	// MSHR entry's lifetime. SyncHorizon reads it to bound how soon a
+	// memory-stalled SyncWait could reach its first poll; DeliverRefill
+	// clears it when the miss completes. Planning state only: it never
+	// influences simulated behaviour, but it is snapshotted so a restored
+	// run plans — and therefore reports shard telemetry — identically.
+	refillDue map[uint64]sim.Cycle
+	// remoteHome, when set by the machine, reports whether an address's
+	// home directory is on another node — the precondition for trusting
+	// refillDue (remote-home misses complete only through replayed
+	// network deliveries; local-home paths run on unhinted local events).
+	remoteHome func(addr uint64) bool
+
 	proto *protoState
 	// traceRelease, when set, takes back a finished protocol-handler trace
 	// buffer (the memory controller recycles it for the next dispatch).
@@ -303,6 +318,7 @@ func New(cfg Config, eng *sim.Engine, down Downstream, sync SyncChecker) *Pipeli
 
 		wbPending:  make(map[uint64]bool),
 		acksWanted: make(map[uint64]int),
+		refillDue:  make(map[uint64]sim.Cycle),
 
 		Retired:        make([]uint64, nctx),
 		MemStallCycles: make([]uint64, nctx),
@@ -419,9 +435,21 @@ func (p *Pipeline) Backend() *ProtoBackend {
 // (DESIGN.md §13). Per application thread (protocol threads never
 // synchronize):
 //
-//   - a fetched-but-unpolled SyncWait could reach its first poll — which
-//     registers arrival, a global mutation — on the very next cycle:
-//     horizon 0;
+//   - a fetched-but-unpolled SyncWait is bounded by its ROB position.
+//     The first poll — which registers arrival, a global mutation —
+//     happens only at ROB head, and a real SyncWait is never squashed
+//     (wrong-path fetch synthesizes plain ALU dummies only), so it must
+//     wait for every older uop to retire. If the wait has renamed into
+//     the ROB it is the youngest entry (fetch blocks behind it): with
+//     idx older entries ahead and at most CommitWidth retires per cycle
+//     — the poll may land in the same cycle as the last retire — the
+//     first poll is ≥ now + ceil(idx/CommitWidth), so
+//     ceil(idx/CommitWidth) − 1 cycles are safe. If the wait is still in
+//     the front end (decode/rename queues), rename needs a cycle to
+//     enter it into the ROB and commit precedes rename within a Tick,
+//     so the poll is ≥ now + 2 and additionally behind all robCount
+//     current (older) entries: max(1, ceil(robCount/CommitWidth) − 1)
+//     cycles are safe;
 //   - a thread parked on an already-polled wait that still polls false
 //     contributes nothing: the probe is one of the pure re-polls, and a
 //     wait that is false when the coordinator checks every core stays
@@ -430,20 +458,95 @@ func (p *Pipeline) Backend() *ProtoBackend {
 //   - otherwise the thread's next SyncWait lies d stream instructions
 //     ahead (a parked thread whose wait now polls true resumes mid-window
 //     and is treated exactly like a running one). Fetch supplies at most
-//     FetchWidth instructions per cycle, so the wait cannot be fetched —
-//     let alone reach the commit-stage poll — before ceil((d+1)/FetchWidth)
-//     cycles pass; every cycle strictly before that is safe.
+//     FetchWidth instructions per cycle, so the wait cannot be fetched
+//     before f = now + ceil((d+1)/FetchWidth); it decodes at f+1, renames
+//     into the ROB at f+2, and — commit preceding rename within a Tick —
+//     polls no earlier than f+3, so ceil((d+1)/FetchWidth) + 2 cycles are
+//     safe.
 //
 // A source that cannot report its sync distance yields horizon 0
 // (conservatively unsafe).
+//
+// The ROB-position bound alone collapses to lockstep whenever the head uop
+// stalls: a load parked on an MSHR holds idx/CommitWidth at zero for the
+// whole miss latency even though the poll is hundreds of cycles away. Two
+// sharpenings recover that slack, both lower bounds on the head's earliest
+// retirement (commit precedes writeback within a Tick, so a uop completing
+// at doneAt retires no earlier than doneAt+1):
+//
+//   - an issued in-flight head with a known completion time pushes the
+//     first poll past doneAt, so doneAt − now cycles are safe;
+//   - a head load parked on a remote-home application miss completes only
+//     through DeliverRefill, which a network message delivered to this
+//     node must trigger. On a sharded machine every such message is
+//     staged and replayed at a sync point, so its delivery time is known
+//     to refillDue before it can fire (§13 invariant 1: deliveries
+//     scheduled at a window's own edge land strictly beyond it). If the
+//     earliest delivery ever hinted is still in the future, the poll
+//     cannot precede it; if none has ever been scheduled, no poll can
+//     land inside any admissible window at all and the thread is
+//     unconstrained. A hint in the past means a delivery already fired
+//     and its handler may be mid-flight — only then does the thread
+//     fall back to the lockstep-tight ROB bound.
 func (p *Pipeline) SyncHorizon(limit sim.Cycle) sim.Cycle {
 	h := limit
+	now := p.eng.Now()
 	fw := sim.Cycle(p.cfg.FetchWidth)
+	cw := sim.Cycle(p.cfg.CommitWidth)
 	for i := 0; i < p.cfg.AppThreads && h > 0; i++ {
 		t := p.threads[i]
 		if t.fetchBlockedSyn {
 			if !t.synPolled {
-				return 0
+				var safe sim.Cycle
+				if u := t.robTail(); u != nil && u.in.Op == isa.OpSyncWait {
+					// In the ROB, youngest entry; robCount-1 older uops
+					// must retire first.
+					idx := sim.Cycle(t.robCount - 1)
+					safe = (idx + cw - 1) / cw
+					if safe > 0 {
+						safe--
+					}
+					if hd := t.robPeek(); hd != nil && hd != u {
+						if hd.waitingMem {
+							// Whatever completes the head load must go
+							// through loadDone, which lands at now+1 at
+							// the earliest; commit precedes writeback, so
+							// the head retires — and the wait first polls
+							// — no earlier than now+2. Two cycles are
+							// always safe while the head is parked on an
+							// MSHR, even mid-completion.
+							if safe < 2 {
+								safe = 2
+							}
+							switch due, st := p.refillBound(hd.in.Addr); st {
+							case refillNone:
+								continue // nothing scheduled: unconstrained
+							case refillPending:
+								if s := due - now; s > safe {
+									safe = s
+								}
+							}
+						} else if hd.issued && hd.doneAt > now {
+							if s := hd.doneAt - now; s > safe {
+								safe = s
+							}
+						}
+					}
+				} else {
+					// Still in the front end: ≥ 2 cycles to reach a
+					// commit-stage poll, behind robCount older entries.
+					safe = (sim.Cycle(t.robCount) + cw - 1) / cw
+					if safe > 0 {
+						safe--
+					}
+					if safe < 1 {
+						safe = 1
+					}
+				}
+				if safe < h {
+					h = safe
+				}
+				continue
 			}
 			if u := t.robPeek(); u != nil && u.in.Op == isa.OpSyncWait && u.polled &&
 				!p.sync.SyncPoll(t.id, u.in.SyncTok) {
@@ -461,7 +564,7 @@ func (p *Pipeline) SyncHorizon(limit sim.Cycle) sim.Cycle {
 		if d < 0 {
 			continue
 		}
-		if safe := (sim.Cycle(d)+fw)/fw - 1; safe < h {
+		if safe := (sim.Cycle(d)+fw)/fw + 2; safe < h {
 			h = safe
 		}
 	}
@@ -544,6 +647,69 @@ func (p *Pipeline) afterDesc(d sim.Cycle, desc sim.Desc, fn func()) {
 // SetOwner records the owning node's id; it is stamped into every event
 // descriptor the core schedules so a snapshot can route the event back.
 func (p *Pipeline) SetOwner(o int32) { p.owner = o }
+
+// SetRemoteHome installs the machine's home-directory predicate: it reports
+// whether an application-data address is homed on a node other than this
+// one. Left nil (serial machines, unit tests) SyncHorizon never consults
+// refill hints — strictly conservative.
+func (p *Pipeline) SetRemoteHome(fn func(addr uint64) bool) { p.remoteHome = fn }
+
+// RefillHint records that a network delivery for addr's line is scheduled
+// to arrive at this node at `at`. The sharded coordinator's replay observer
+// calls it — with all shards parked, or from the partition that owns this
+// shard — for every message it schedules toward this node. The map keeps
+// the minimum hint over the MSHR entry's lifetime: once any delivery for
+// the line has been scheduled, a later replay must never stretch the bound
+// past it (the earlier delivery may have fired and left a completion chain
+// running on local events that no future hint can see).
+func (p *Pipeline) RefillHint(addr uint64, at sim.Cycle) {
+	line := p.l2.LineAddr(addr)
+	e := p.mshr.Find(line)
+	if e == nil || e.Class != cache.ClassApp {
+		return
+	}
+	if cur, ok := p.refillDue[line]; ok && cur <= at {
+		return
+	}
+	p.refillDue[line] = at
+}
+
+// refillStatus classifies what SyncHorizon may conclude from refill hints
+// about a head load parked on an MSHR.
+type refillStatus uint8
+
+const (
+	// refillUnknown: no usable information (local home, protocol-class
+	// entry, hint already in the past, or no remoteHome predicate). The
+	// caller keeps its conservative ROB-position bound.
+	refillUnknown refillStatus = iota
+	// refillPending: the earliest delivery ever scheduled for the line is
+	// still in the future; no poll can precede it.
+	refillPending
+	// refillNone: the miss qualifies (remote-home, application-class) and
+	// no delivery has ever been scheduled — completion cannot land inside
+	// any admissible window, so the thread is unconstrained.
+	refillNone
+)
+
+func (p *Pipeline) refillBound(addr uint64) (sim.Cycle, refillStatus) {
+	if p.remoteHome == nil || !p.remoteHome(addr) {
+		return 0, refillUnknown
+	}
+	line := p.l2.LineAddr(addr)
+	e := p.mshr.Find(line)
+	if e == nil || e.Class != cache.ClassApp {
+		return 0, refillUnknown
+	}
+	due, ok := p.refillDue[line]
+	if !ok {
+		return 0, refillNone
+	}
+	if due <= p.eng.Now() {
+		return 0, refillUnknown // delivery fired; completion may be local now
+	}
+	return due, refillPending
+}
 
 // settled wraps a callback handed to the downstream memory system so it
 // re-enters through extInput when the miss resolves.

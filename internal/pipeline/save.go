@@ -501,6 +501,20 @@ func (p *Pipeline) SaveState(e *snapshot.Encoder, saveInstr func(*snapshot.Encod
 		e.U64(line)
 		e.Int(p.acksWanted[line])
 	}
+	// Refill hints are planning state only, but a restored sharded run must
+	// plan identical windows: without them, SyncHorizon would call an
+	// already-scheduled delivery "unscheduled" and stretch a window across
+	// the poll it enables.
+	due := make([]uint64, 0, len(p.refillDue))
+	for line := range p.refillDue {
+		due = append(due, line)
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	e.Int(len(due))
+	for _, line := range due {
+		e.U64(line)
+		e.U64(uint64(p.refillDue[line]))
+	}
 
 	// Branch stack: per-slot, preserving slot indices (uops hold brCkpt
 	// indices into the array).
@@ -672,6 +686,13 @@ func (p *Pipeline) LoadState(d *snapshot.Decoder, loadInstr func(*snapshot.Decod
 	for i, n := 0, d.Int(); i < n && d.Err() == nil; i++ {
 		line := d.U64()
 		p.acksWanted[line] = d.Int()
+	}
+	for k := range p.refillDue {
+		delete(p.refillDue, k)
+	}
+	for i, n := 0, d.Int(); i < n && d.Err() == nil; i++ {
+		line := d.U64()
+		p.refillDue[line] = sim.Cycle(d.U64())
 	}
 
 	p.ckptsArr = nil

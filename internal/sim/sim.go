@@ -80,10 +80,17 @@ type event struct {
 	pos [3]uint64
 	seq uint64
 	fn  func()
-	// desc, when valid, identifies the event for snapshot/restore (see
-	// Desc in state.go). Events scheduled without a descriptor cannot be
-	// exported; ExportState reports them as an error.
-	desc Desc
+	// desc, when non-zero, identifies the event for snapshot/restore (see
+	// Desc in state.go): a 1-based handle into the engine's descriptor
+	// arena, not an inline value and not a pointer. Descriptors are 56
+	// bytes and the event struct is copied on every heap push/pop/sift,
+	// so keeping them out of line keeps the copy cost down — and keeping
+	// the handle an integer keeps the event heap free of GC-visible words
+	// beyond fn, so heap swaps take no write barriers for it and the
+	// collector never traces per-event descriptor objects. Events
+	// scheduled without a descriptor cannot be exported; ExportState
+	// reports them as an error.
+	desc uint32
 }
 
 // eventLess orders events by due time, then scheduling context, then FIFO
@@ -159,6 +166,16 @@ type Engine struct {
 	keyed   bool
 	ctx     [3]uint64
 	tagBase uint64
+
+	// descs is the arena backing the out-of-line Desc records events carry
+	// (see the event struct); an event's desc handle is an index+1 into it.
+	// descFree recycles handles: a fired or discarded event's slot returns
+	// here and the next ScheduleDesc-family call reuses it, so
+	// descriptor-carrying scheduling is allocation-free once the arena has
+	// grown to the high-water mark. Engine-local, like the event heap
+	// itself — and pointer-free, so the collector scans neither.
+	descs    []Desc
+	descFree []uint32
 
 	// scanPos is the number of clocked components whose tick slot for the
 	// current cycle has already passed: 0 while the cycle's events fire, i
@@ -393,6 +410,26 @@ func lazyBound(now, next, period Cycle) Cycle {
 	return now + (next-now+period-1)/period*period
 }
 
+// takeDesc copies d into an arena slot (reusing a freed one when
+// available) and returns the 1-based handle an event will carry.
+func (e *Engine) takeDesc(d Desc) uint32 {
+	if n := len(e.descFree); n > 0 {
+		h := e.descFree[n-1]
+		e.descFree = e.descFree[:n-1]
+		e.descs[h-1] = d
+		return h
+	}
+	e.descs = append(e.descs, d)
+	return uint32(len(e.descs))
+}
+
+// putDesc returns an event's descriptor slot (if any) to the free-list.
+func (e *Engine) putDesc(h uint32) {
+	if h != 0 {
+		e.descFree = append(e.descFree, h)
+	}
+}
+
 // pushEvent inserts ev into the 4-ary heap.
 func (e *Engine) pushEvent(ev event) {
 	e.events = append(e.events, ev)
@@ -501,6 +538,7 @@ func (e *Engine) Step() {
 		for len(e.refEvents) > 0 && e.refEvents[0].at <= e.now {
 			ev := heap.Pop(&e.refEvents).(event)
 			ev.fn()
+			e.putDesc(ev.desc)
 		}
 		for i := range comps {
 			ce := &comps[i]
@@ -517,6 +555,7 @@ func (e *Engine) Step() {
 			e.ctx = [3]uint64{2 * uint64(e.now), ev.pos[0], ev.pos[1]}
 		}
 		ev.fn()
+		e.putDesc(ev.desc)
 	}
 	for i := range comps {
 		e.scanPos = i

@@ -60,7 +60,7 @@ func (e *Engine) ScheduleDesc(at Cycle, d Desc, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d but now is %d", at, e.now))
 	}
 	e.seq++
-	ev := event{at: at, pos: e.ctx, seq: e.seq, fn: fn, desc: d}
+	ev := event{at: at, pos: e.ctx, seq: e.seq, fn: fn, desc: e.takeDesc(d)}
 	if e.reference {
 		e.refPush(ev)
 		return
@@ -86,7 +86,7 @@ func (e *Engine) ScheduleKeyedDesc(at Cycle, pos [3]uint64, d Desc, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d but now is %d", at, e.now))
 	}
 	e.seq++
-	e.pushEvent(event{at: at, pos: pos, seq: e.seq, fn: fn, desc: d})
+	e.pushEvent(event{at: at, pos: pos, seq: e.seq, fn: fn, desc: e.takeDesc(d)})
 }
 
 // RestoreEvent re-injects a snapshotted event with its original heap key.
@@ -98,7 +98,7 @@ func (e *Engine) RestoreEvent(at Cycle, pos [3]uint64, seq uint64, d Desc, fn fu
 	if at <= e.now {
 		panic(fmt.Sprintf("sim: restore event at %d but now is %d", at, e.now))
 	}
-	e.pushEvent(event{at: at, pos: pos, seq: seq, fn: fn, desc: d})
+	e.pushEvent(event{at: at, pos: pos, seq: seq, fn: fn, desc: e.takeDesc(d)})
 }
 
 // ExportState captures the engine's dynamic state for a snapshot. The
@@ -123,10 +123,10 @@ func (e *Engine) ExportState() (EngineState, error) {
 	sort.Slice(evs, func(i, j int) bool { return eventLess(evs[i], evs[j]) })
 	st.Events = make([]EventState, len(evs))
 	for i, ev := range evs {
-		if !ev.desc.Valid() {
+		if ev.desc == 0 || !e.descs[ev.desc-1].Valid() {
 			return EngineState{}, fmt.Errorf("sim: pending event due at cycle %d has no restore descriptor", ev.at)
 		}
-		st.Events[i] = EventState{At: ev.at, Pos: ev.pos, Seq: ev.seq, Desc: ev.desc}
+		st.Events[i] = EventState{At: ev.at, Pos: ev.pos, Seq: ev.seq, Desc: e.descs[ev.desc-1]}
 	}
 	return st, nil
 }
@@ -150,6 +150,10 @@ func (e *Engine) ImportState(st EngineState) error {
 		ce.nextTick = st.Comps[i].NextTick
 		ce.deferring = false
 		ce.settleBase = 0
+	}
+	for i := range e.events {
+		e.putDesc(e.events[i].desc)
+		e.events[i] = event{}
 	}
 	e.events = e.events[:0]
 	return nil
